@@ -1,0 +1,128 @@
+// Ablation: operator-configured vs learned tail index for the reservation
+// deadline (Sec. III-B recurring jobs + Sec. IV-B deadline model).
+//
+// A recurring foreground job with a true Pareto tail alpha = 1.6 runs many
+// times against background contention at isolation target P = 0.6.  The
+// deadline D = t_m (1 - P^{1/N})^{-1/alpha} depends on alpha:
+//   * overestimating alpha (lighter tail than reality) shortens D ->
+//     reservations expire before stragglers finish -> isolation broken;
+//   * underestimating alpha lengthens D -> more reserved-idle waste;
+//   * learning alpha from previous recurrences (Hill estimator) converges
+//     to the sweet spot automatically.
+#include <iostream>
+#include <memory>
+
+#include "ssr/common/stats.h"
+#include "ssr/common/table.h"
+#include "ssr/core/reservation_manager.h"
+#include "ssr/exp/scenario.h"
+#include "ssr/metrics/collectors.h"
+#include "ssr/sched/engine.h"
+#include "ssr/workload/adjust.h"
+#include "ssr/workload/mlbench.h"
+#include "ssr/workload/tracegen.h"
+
+namespace {
+
+using namespace ssr;
+
+constexpr double kTrueAlpha = 1.6;
+constexpr int kRecurrences = 12;
+
+struct Outcome {
+  double mean_slowdown = 0.0;
+  double reserved_idle = 0.0;
+  std::uint64_t expired = 0;
+};
+
+Outcome run(SsrConfig cfg, std::uint64_t seed) {
+  Engine engine(SchedConfig{}, 25, 2, seed);  // 50 slots
+  auto manager = std::make_unique<ReservationManager>(cfg);
+  ReservationManager* mgr = manager.get();
+  engine.set_reservation_hook(std::move(manager));
+  JctCollector jcts;
+  engine.add_observer(&jcts);
+
+  TraceGenConfig bg;
+  bg.num_jobs = 120;
+  bg.window = 3600.0;
+  bg.seed = seed + 5;
+  for (JobSpec& spec : make_background_jobs(bg)) engine.submit(std::move(spec));
+
+  // The recurring job: KMeans shape with a true Pareto-1.6 latency tail.
+  Rng adjust_rng(seed + 77);
+  std::vector<double> alone;
+  for (int r = 0; r < kRecurrences; ++r) {
+    JobSpec job = pareto_adjust(make_kmeans(16, 10, 0.0), kTrueAlpha,
+                                adjust_rng);
+    job.submit_time = 250.0 * (r + 1);
+    // Alone baseline with identical explicit durations.
+    JobSpec alone_copy = job;
+    alone_copy.submit_time = 0.0;
+    RunOptions o;
+    o.seed = seed;
+    alone.push_back(alone_jct(ClusterSpec{25, 2}, std::move(alone_copy), o));
+    engine.submit(std::move(job));
+  }
+  engine.run();
+  engine.cluster().settle(engine.sim().now());
+
+  Outcome out;
+  OnlineStats slow;
+  std::size_t i = 0;
+  for (const auto& rec : jcts.completions()) {
+    if (rec.name == "kmeans") {
+      // completions are in finish order == submit order for a recurring
+      // chain spaced far apart; pair with the matching alone baseline.
+      slow.add(rec.jct() / alone[std::min(i, alone.size() - 1)]);
+      ++i;
+    }
+  }
+  out.mean_slowdown = slow.mean();
+  out.reserved_idle = engine.cluster().total_reserved_idle_time();
+  out.expired = mgr->reservations_expired();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ssr;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  std::cout << "Ablation: configured vs learned tail index (true alpha = "
+            << kTrueAlpha << ", P = 0.6, " << kRecurrences
+            << " recurrences)\n\n";
+  TablePrinter table({"alpha source", "mean fg slowdown",
+                      "reserved-idle (slot-s)", "expired reservations"});
+
+  struct Case {
+    const char* label;
+    double configured;
+    bool learn;
+  };
+  const Case cases[] = {
+      {"configured 3.5 (too light)", 3.5, false},
+      {"configured 1.6 (oracle)", 1.6, false},
+      {"configured 1.2 (too heavy)", 1.2, false},
+      {"learned (Hill, starts at 3.5)", 3.5, true},
+  };
+  for (const Case& c : cases) {
+    SsrConfig cfg;
+    cfg.min_reserving_priority = 1;
+    cfg.isolation_p = 0.6;
+    cfg.pareto_alpha = c.configured;
+    cfg.learn_tail_index = c.learn;
+    cfg.tail_min_samples = 100;
+    const Outcome o = run(cfg, args.seed);
+    table.add_row({c.label, TablePrinter::num(o.mean_slowdown, 3),
+                   TablePrinter::num(o.reserved_idle, 0),
+                   std::to_string(o.expired)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: a too-light configured tail expires reservations\n"
+               "early (worse isolation); a too-heavy one over-holds slots;\n"
+               "the learned estimate converges toward the oracle's balance\n"
+               "after the first recurrences.\n";
+  return 0;
+}

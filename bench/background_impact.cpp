@@ -1,0 +1,74 @@
+// Sec. VI-B (text claim): speculative slot reservation for foreground jobs
+// has little impact on the background workload — the paper measures < 0.1%
+// average slowdown for background jobs in the 4000-slot simulation.
+//
+// We run the same mixed workload with the baseline scheduler and with SSR,
+// and compare the background jobs' mean JCT and total throughput.
+#include <iostream>
+#include <vector>
+
+#include "ssr/common/stats.h"
+#include "ssr/common/table.h"
+#include "ssr/exp/scenario.h"
+#include "ssr/workload/mlbench.h"
+#include "ssr/workload/tracegen.h"
+
+int main(int argc, char** argv) {
+  using namespace ssr;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const ClusterSpec cluster{.nodes = args.scaled(500), .slots_per_node = 4};
+  const SimDuration window = 3600.0 / args.scale;
+
+  auto make_jobs = [&] {
+    TraceGenConfig bg;
+    bg.num_jobs = args.scaled(4000);
+    bg.window = window;
+    bg.seed = args.seed + 42;
+    std::vector<JobSpec> jobs = make_background_jobs(bg);
+    int i = 0;
+    for (auto make : {make_kmeans, make_svm, make_pagerank}) {
+      for (int rep = 0; rep < 4; ++rep) {
+        jobs.push_back(make(20, 10, window * 0.2 + 40.0 * (4 * i + rep)));
+      }
+      ++i;
+    }
+    return jobs;
+  };
+
+  RunOptions base;
+  base.seed = args.seed;
+  RunOptions with_ssr = base;
+  with_ssr.ssr = SsrConfig{};
+  with_ssr.ssr->min_reserving_priority = 1;  // foreground class only
+
+  const RunResult r_base = run_scenario(cluster, make_jobs(), base);
+  const RunResult r_ssr = run_scenario(cluster, make_jobs(), with_ssr);
+
+  const double bg_base = r_base.mean_jct_with_prefix("bg-");
+  const double bg_ssr = r_ssr.mean_jct_with_prefix("bg-");
+  const double fg_base = r_base.mean_jct_with_prefix("kmeans");
+  const double fg_ssr = r_ssr.mean_jct_with_prefix("kmeans");
+
+  std::cout << "Background impact of speculative slot reservation ("
+            << cluster.nodes * 4 << " slots, "
+            << r_base.jobs.size() - 12 << " background jobs)\n\n";
+  TablePrinter table({"metric", "baseline", "with SSR", "delta (%)"});
+  table.add_row({"background mean JCT (s)", TablePrinter::num(bg_base, 1),
+                 TablePrinter::num(bg_ssr, 1),
+                 TablePrinter::num(100.0 * (bg_ssr - bg_base) / bg_base, 2)});
+  table.add_row({"kmeans mean JCT (s)", TablePrinter::num(fg_base, 1),
+                 TablePrinter::num(fg_ssr, 1),
+                 TablePrinter::num(100.0 * (fg_ssr - fg_base) / fg_base, 2)});
+  table.add_row({"cluster busy slot-seconds", TablePrinter::num(r_base.busy_time, 0),
+                 TablePrinter::num(r_ssr.busy_time, 0),
+                 TablePrinter::num(
+                     100.0 * (r_ssr.busy_time - r_base.busy_time) / r_base.busy_time,
+                     2)});
+  table.add_row({"reserved-idle slot-seconds", "0",
+                 TablePrinter::num(r_ssr.reserved_idle_time, 0), "-"});
+  table.print(std::cout);
+  std::cout << "\nShape check: the background mean JCT moves by a tiny\n"
+               "fraction (the paper reports < 0.1% in its 4000-slot sim)\n"
+               "while the foreground improves dramatically.\n";
+  return 0;
+}

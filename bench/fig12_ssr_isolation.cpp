@@ -1,0 +1,68 @@
+// Fig. 12 [Cluster]: slowdown of each foreground job with and without
+// speculative slot reservation, under (a) the standard background and
+// (b) background with doubled task durations.
+//
+// Paper setup: 50-node EC2 cluster, foreground = SparkBench KMeans / SVM /
+// PageRank at high priority, background = 100 Google-trace jobs at low
+// priority.  Claim: with SSR every foreground job sees < 10% slowdown.
+#include <iostream>
+
+#include "ssr/common/table.h"
+#include "ssr/exp/scenario.h"
+#include "ssr/workload/mlbench.h"
+#include "ssr/workload/tracegen.h"
+
+int main(int argc, char** argv) {
+  using namespace ssr;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  const ClusterSpec cluster{.nodes = 50, .slots_per_node = 2};
+  TraceGenConfig bg;
+  bg.num_jobs = args.scaled(100);
+  bg.window = 3600.0 / args.scale;
+  bg.seed = args.seed + 1000;
+  const SimTime fg_submit = bg.window * 0.25;
+
+  struct App {
+    const char* name;
+    JobSpec (*make)(std::uint32_t, int, SimTime);
+  };
+  const App apps[] = {{"kmeans", make_kmeans},
+                      {"svm", make_svm},
+                      {"pagerank", make_pagerank}};
+
+  std::cout << "Fig. 12: foreground slowdown with / without speculative "
+               "slot reservation (50 nodes / 100 slots)\n\n";
+  TablePrinter table({"background", "job", "slowdown w/o SSR",
+                      "slowdown w/ SSR"});
+  for (const double bg_mult : {1.0, 2.0}) {
+    for (const App& app : apps) {
+      RunOptions base;
+      base.seed = args.seed;
+      RunOptions with_ssr = base;
+      with_ssr.ssr = SsrConfig{};  // P = 1: strict isolation
+      with_ssr.ssr->min_reserving_priority = 1;  // foreground class only
+
+      const double alone = alone_jct(cluster, app.make(20, 10, 0.0), base);
+      double slow[2];
+      for (int i = 0; i < 2; ++i) {
+        TraceGenConfig cfg = bg;
+        cfg.runtime_multiplier = bg_mult;
+        std::vector<JobSpec> jobs = make_background_jobs(cfg);
+        jobs.push_back(app.make(20, 10, fg_submit));
+        const RunOptions& o = i == 0 ? base : with_ssr;
+        const RunResult r = run_scenario(cluster, std::move(jobs), o);
+        slow[i] = slowdown(r.jct_of(app.name), alone);
+      }
+      table.add_row({bg_mult == 1.0 ? "standard" : "2x tasks", app.name,
+                     TablePrinter::num(slow[0], 2),
+                     TablePrinter::num(slow[1], 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: SSR pins every foreground job near 1.0x\n"
+               "(the paper reports < 10% slowdown) in both settings, while\n"
+               "the baseline suffers multi-x slowdowns that grow with\n"
+               "background task duration.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 13 [Cluster]: two synthetic jobs under the Spark Fair Scheduler,
+// without and with speculative slot reservation.
+//
+// Job-1 is a workflow of 3 pipelined phases; job-2 is map-only (no
+// dependencies).  Ideally each holds 50% of the cluster.  Without SSR job-1
+// loses all its slots to job-2 at every barrier; with SSR it retains its
+// fair share throughout.
+#include <iostream>
+
+#include "ssr/common/table.h"
+#include "ssr/core/reservation_manager.h"
+#include "ssr/exp/scenario.h"
+#include "ssr/metrics/collectors.h"
+#include "ssr/sched/engine.h"
+
+namespace {
+
+using namespace ssr;
+
+void run_case(bool with_ssr, std::uint64_t seed) {
+  SchedConfig sched;
+  sched.policy = SchedulingPolicy::Fair;
+  Engine engine(sched, 8, 2, seed);  // 16 slots
+  if (with_ssr) {
+    engine.set_reservation_hook(
+        std::make_unique<ReservationManager>(SsrConfig{}));
+  }
+  RunningTasksSeries series;
+  engine.add_observer(&series);
+
+  // Job-1: 3 pipelined phases of 8 tasks (half the cluster), skewed in-phase
+  // durations so barriers expose slots.  Job-2: a long stream of independent
+  // map tasks.
+  const JobId wf = engine.submit(JobBuilder("workflow")
+                                     .stage(8, uniform_duration(8.0, 24.0))
+                                     .stage(8, uniform_duration(8.0, 24.0))
+                                     .stage(8, uniform_duration(8.0, 24.0))
+                                     .build());
+  const JobId mo = engine.submit(
+      JobBuilder("maponly").stage(160, uniform_duration(8.0, 24.0)).build());
+  engine.run();
+
+  std::cout << (with_ssr ? "(b) WITH speculative slot reservation"
+                         : "(a) WITHOUT speculative slot reservation")
+            << "\n    workflow JCT = " << engine.jct(wf)
+            << " s, map-only JCT = " << engine.jct(mo) << " s\n";
+  const SimTime horizon = engine.job_finish_time(wf);
+  AsciiSeries plot("time (s)", "# running workflow tasks (fair share = 8)",
+                   32);
+  for (const auto& [t, v] : series.sampled(wf, horizon / 30.0, horizon)) {
+    plot.add_point(t, v);
+  }
+  plot.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ssr;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  std::cout << "Fig. 13: fair scheduler, 3-phase workflow vs map-only job "
+               "(16 slots)\n\n";
+  run_case(false, args.seed);
+  run_case(true, args.seed);
+  std::cout << "Shape check: without SSR the workflow's allocation collapses\n"
+               "to ~0 between phases and ramps back slowly; with SSR it\n"
+               "holds its ~8-slot fair share through every barrier, and its\n"
+               "JCT shrinks accordingly (paper's Fig. 13).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Scheduler hot-path micro-benchmarks (google-benchmark).
+//
+// These quantify the costs that bound large-scale simulations: event queue
+// churn, cluster slot transitions, reservation bookkeeping, and end-to-end
+// simulated task throughput of the engine with and without SSR.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "ssr/core/reservation_manager.h"
+#include "ssr/sched/engine.h"
+#include "ssr/sim/event_queue.h"
+
+namespace {
+
+using namespace ssr;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.push(static_cast<double>((i * 7919) % n), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+
+void BM_ClusterTaskTransitions(benchmark::State& state) {
+  Cluster cluster(100, 4);
+  double now = 0.0;
+  const TaskId task{StageId{JobId{0}, 0}, 0, 0};
+  for (auto _ : state) {
+    for (std::uint32_t s = 0; s < cluster.num_slots(); ++s) {
+      cluster.start_task(SlotId{s}, task, now);
+    }
+    now += 1.0;
+    for (std::uint32_t s = 0; s < cluster.num_slots(); ++s) {
+      cluster.finish_task(SlotId{s}, now);
+    }
+    now += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations() * cluster.num_slots() * 2);
+}
+BENCHMARK(BM_ClusterTaskTransitions);
+
+void BM_ReservationCycle(benchmark::State& state) {
+  Cluster cluster(100, 4);
+  double now = 0.0;
+  for (auto _ : state) {
+    for (std::uint32_t s = 0; s < cluster.num_slots(); ++s) {
+      Reservation r;
+      r.job = JobId{1};
+      r.priority = 5;
+      cluster.reserve(SlotId{s}, r, now);
+    }
+    now += 1.0;
+    for (std::uint32_t s = 0; s < cluster.num_slots(); ++s) {
+      cluster.release_reservation(SlotId{s}, now);
+    }
+    now += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations() * cluster.num_slots() * 2);
+}
+BENCHMARK(BM_ReservationCycle);
+
+/// End-to-end engine throughput: many small chain jobs contending on a
+/// medium cluster; reports simulated tasks per wall-clock second.
+void BM_EngineThroughput(benchmark::State& state) {
+  const bool with_ssr = state.range(0) != 0;
+  std::uint64_t tasks = 0;
+  for (auto _ : state) {
+    Engine engine(SchedConfig{}, 50, 4, 1);
+    if (with_ssr) {
+      engine.set_reservation_hook(
+          std::make_unique<ReservationManager>(SsrConfig{}));
+    }
+    for (int j = 0; j < 200; ++j) {
+      engine.submit(JobBuilder("job" + std::to_string(j))
+                        .priority(j % 3)
+                        .submit_at(j * 0.5)
+                        .stage(8, uniform_duration(1.0, 3.0))
+                        .stage(8, uniform_duration(1.0, 3.0))
+                        .stage(4, uniform_duration(1.0, 3.0))
+                        .build());
+    }
+    engine.run();
+    tasks += 200 * 20;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tasks));
+  state.SetLabel(with_ssr ? "with-ssr" : "baseline");
+}
+BENCHMARK(BM_EngineThroughput)->Arg(0)->Arg(1);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Example: speculative slot reservation under the fair scheduler.
+//
+// Reproduces the paper's Fig. 13 story as a runnable program: a 3-phase
+// workflow job and a map-only job share a cluster under fair scheduling.
+// Without SSR the workflow loses its entire share at each barrier; with SSR
+// it holds its fair share end to end.  The example prints the workflow's
+// running-task timeline for both schedulers.
+//
+//   $ ./example_fair_sharing
+#include <iostream>
+#include <memory>
+
+#include "ssr/common/table.h"
+#include "ssr/core/reservation_manager.h"
+#include "ssr/metrics/collectors.h"
+#include "ssr/sched/engine.h"
+
+using namespace ssr;
+
+namespace {
+
+void run(bool with_ssr) {
+  SchedConfig sched;
+  sched.policy = SchedulingPolicy::Fair;
+  Engine engine(sched, 4, 2, /*seed=*/3);  // 8 slots
+  if (with_ssr) {
+    engine.set_reservation_hook(
+        std::make_unique<ReservationManager>(SsrConfig{}));
+  }
+  RunningTasksSeries series;
+  engine.add_observer(&series);
+
+  const JobId wf = engine.submit(JobBuilder("workflow")
+                                     .stage(4, uniform_duration(6.0, 18.0))
+                                     .stage(4, uniform_duration(6.0, 18.0))
+                                     .stage(4, uniform_duration(6.0, 18.0))
+                                     .build());
+  engine.submit(
+      JobBuilder("maponly").stage(60, uniform_duration(6.0, 18.0)).build());
+  engine.run();
+
+  std::cout << (with_ssr ? "WITH" : "WITHOUT")
+            << " speculative slot reservation: workflow JCT = "
+            << engine.jct(wf) << " s (fair share = 4 slots)\n";
+  AsciiSeries plot("time (s)", "# running workflow tasks", 24);
+  const SimTime horizon = engine.job_finish_time(wf);
+  for (const auto& [t, v] : series.sampled(wf, horizon / 24.0, horizon)) {
+    plot.add_point(t, v);
+  }
+  plot.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fair sharing with dependent computations (cf. paper Fig. 13)\n\n";
+  run(false);
+  run(true);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Example: changing resource demands across phases (Sec. III-C).
+//
+// Frameworks like Tez let a job's phases demand different resources.  The
+// mechanism still applies: when a finished phase's slot is too small for the
+// downstream task, SSR releases it immediately (no pointless hold) and
+// pre-reserves a right-sized slot instead.
+//
+// The cluster here mixes small {1 cpu, 1 GB} and big {2 cpu, 4 GB} slots; a
+// pipeline's map phase runs on small slots while its aggregation phase needs
+// big ones.
+//
+//   $ ./example_heterogeneous_slots
+#include <iostream>
+#include <memory>
+
+#include "ssr/common/table.h"
+#include "ssr/core/reservation_manager.h"
+#include "ssr/sched/engine.h"
+
+using namespace ssr;
+
+namespace {
+
+double run(bool with_ssr) {
+  // 4 nodes: two with small slots, two with big slots.
+  std::vector<std::vector<Resources>> layout = {
+      {Resources{1, 1}, Resources{1, 1}},
+      {Resources{1, 1}, Resources{1, 1}},
+      {Resources{2, 4}, Resources{2, 4}},
+      {Resources{2, 4}, Resources{2, 4}},
+  };
+  Engine engine(SchedConfig{}, layout, /*seed=*/13);
+  if (with_ssr) {
+    engine.set_reservation_hook(
+        std::make_unique<ReservationManager>(SsrConfig{}));
+  }
+
+  // The pipeline: wide map phase on small slots, narrow aggregation on big
+  // slots.
+  const JobId pipeline = engine.submit(JobBuilder("pipeline")
+                                           .priority(10)
+                                           .stage(4, uniform_duration(5.0, 14.0))
+                                           .demand({1.0, 1.0})
+                                           .stage(4, uniform_duration(6.0, 9.0))
+                                           .demand({2.0, 4.0})
+                                           .build());
+  // Batch work that will grab any slot it fits on, including the big ones.
+  // Its tasks end while the map phase is still running: without SSR the
+  // freed big slots go right back to the batch backlog (the aggregation is
+  // not submitted yet, so priority cannot help); with SSR they are
+  // pre-reserved for the aggregation the moment they free.
+  engine.submit(JobBuilder("batch")
+                    .priority(0)
+                    .submit_at(1.0)
+                    .stage(12, uniform_duration(8.5, 10.0))
+                    .demand({1.0, 1.0})
+                    .build());
+  engine.run();
+  return engine.jct(pipeline);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Heterogeneous slots: map phase {1 cpu, 1 GB} -> aggregation "
+               "phase {2 cpu, 4 GB}\n\n";
+  TablePrinter table({"scheduler", "pipeline JCT (s)"});
+  table.add_row({"baseline", TablePrinter::num(run(false), 1)});
+  table.add_row({"SSR (right-size pre-reservation)",
+                 TablePrinter::num(run(true), 1)});
+  table.print(std::cout);
+  std::cout << "\nWith SSR the small map slots are released at the barrier\n"
+               "(they cannot serve the aggregation anyway) while big slots\n"
+               "freed by the batch job are pre-reserved, so the aggregation\n"
+               "phase is not stuck behind 20-40 s batch tasks.\n";
+  return 0;
+}

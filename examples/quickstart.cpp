@@ -1,0 +1,75 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// Builds a tiny cluster, submits a high-priority workflow job and a
+// low-priority batch job, and runs the same scenario twice — once with the
+// plain work-conserving scheduler and once with speculative slot
+// reservation — printing the completion times side by side.
+//
+//   $ ./example_quickstart
+#include <iostream>
+#include <memory>
+
+#include "ssr/common/table.h"
+#include "ssr/core/reservation_manager.h"
+#include "ssr/sched/engine.h"
+
+using namespace ssr;
+
+namespace {
+
+/// One simulated run; returns {workflow JCT, batch JCT}.
+std::pair<double, double> simulate(bool with_ssr) {
+  // One node with 2 executor slots (an m4.large in the paper's setup).
+  Engine engine(SchedConfig{}, /*num_nodes=*/1, /*slots_per_node=*/2,
+                /*seed=*/42);
+
+  if (with_ssr) {
+    // Install the paper's mechanism.  Default config: strict isolation
+    // (P = 1), pre-reservation at R = 0.5, straggler mitigation off.
+    engine.set_reservation_hook(
+        std::make_unique<ReservationManager>(SsrConfig{}));
+  }
+
+  // A latency-sensitive workflow: two barrier-separated phases whose first
+  // phase has skewed task durations (5 s and 10 s).
+  const JobId workflow = engine.submit(JobBuilder("workflow")
+                                           .priority(10)
+                                           .stage(2, fixed_duration(1.0))
+                                           .explicit_durations({5.0, 10.0})
+                                           .stage(2, fixed_duration(5.0))
+                                           .build());
+
+  // A latency-tolerant batch job with long tasks, arriving a second later.
+  const JobId batch = engine.submit(JobBuilder("batch")
+                                        .priority(0)
+                                        .submit_at(1.0)
+                                        .stage(2, fixed_duration(100.0))
+                                        .build());
+
+  engine.run();
+  return {engine.jct(workflow), engine.jct(batch)};
+}
+
+}  // namespace
+
+int main() {
+  const auto [wf_base, batch_base] = simulate(/*with_ssr=*/false);
+  const auto [wf_ssr, batch_ssr] = simulate(/*with_ssr=*/true);
+
+  std::cout << "Quickstart: a 2-phase workflow (priority 10) vs a batch job "
+               "(priority 0) on 2 slots\n\n";
+  TablePrinter table({"scheduler", "workflow JCT (s)", "batch JCT (s)"});
+  table.add_row({"work-conserving baseline", TablePrinter::num(wf_base, 1),
+                 TablePrinter::num(batch_base, 1)});
+  table.add_row({"speculative slot reservation", TablePrinter::num(wf_ssr, 1),
+                 TablePrinter::num(batch_ssr, 1)});
+  table.print(std::cout);
+
+  std::cout
+      << "\nWhat happened: at t=5 the workflow's first task finished.  The\n"
+         "baseline handed the freed slot to the batch job (work\n"
+         "conservation), so the workflow's second phase ran serially on one\n"
+         "slot.  With SSR the slot was reserved across the barrier and the\n"
+         "workflow finished as if it were alone.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Example: turning reserved slots into straggler mitigators (Sec. IV-C).
+//
+// A heavy-tailed iterative job (task durations Pareto with alpha = 1.6, the
+// production-typical tail) runs alone on the cluster.  With plain
+// reservations, every phase waits for its slowest task while the reserved
+// slots idle.  With straggler mitigation, the reserved slots run extra
+// copies of the laggards and the first finisher wins.
+//
+//   $ ./example_straggler_mitigation
+#include <iostream>
+#include <memory>
+
+#include "ssr/common/table.h"
+#include "ssr/core/reservation_manager.h"
+#include "ssr/exp/scenario.h"
+#include "ssr/metrics/collectors.h"
+#include "ssr/sched/engine.h"
+#include "ssr/workload/adjust.h"
+#include "ssr/workload/mlbench.h"
+
+using namespace ssr;
+
+namespace {
+
+struct Outcome {
+  double jct = 0.0;
+  std::uint64_t copies = 0;
+  std::uint64_t copies_won = 0;
+};
+
+Outcome run(double alpha, bool mitigate) {
+  Engine engine(SchedConfig{}, 10, 4, /*seed=*/5);  // 40 slots
+  SsrConfig cfg;
+  cfg.enable_straggler_mitigation = mitigate;
+  auto manager = std::make_unique<ReservationManager>(cfg);
+  ReservationManager* mgr = manager.get();
+  engine.set_reservation_hook(std::move(manager));
+  TaskStatsCollector stats;
+  engine.add_observer(&stats);
+
+  Rng rng(17);
+  const JobId job = engine.submit(
+      pareto_adjust(make_pagerank(40, 10, 0.0), alpha, rng));
+  engine.run();
+  return {engine.jct(job), mgr->copies_launched(),
+          stats.stats(job).copies_won};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Straggler mitigation on reserved slots (PageRank, 40-way, "
+               "Pareto-tailed tasks)\n\n";
+  TablePrinter table({"alpha", "JCT w/o mitigation (s)",
+                      "JCT w/ mitigation (s)", "reduction (%)",
+                      "copies (won/launched)"});
+  for (const double alpha : {1.2, 1.6, 2.5}) {
+    const Outcome off = run(alpha, false);
+    const Outcome on = run(alpha, true);
+    table.add_row({TablePrinter::num(alpha, 1), TablePrinter::num(off.jct, 1),
+                   TablePrinter::num(on.jct, 1),
+                   TablePrinter::num(100.0 * (off.jct - on.jct) / off.jct, 1),
+                   std::to_string(on.copies_won) + "/" +
+                       std::to_string(on.copies)});
+  }
+  table.print(std::cout);
+  std::cout << "\nHeavier tails (smaller alpha) benefit more — the copies\n"
+               "run warm on slots that just executed the same phase, so\n"
+               "they win against stragglers most of the time.\n";
+  return 0;
+}

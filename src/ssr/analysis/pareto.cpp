@@ -1,0 +1,80 @@
+#include "ssr/analysis/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ssr/common/check.h"
+
+namespace ssr {
+
+double ParetoModel::cdf(double t) const {
+  if (t < scale) return 0.0;
+  return 1.0 - std::pow(scale / t, alpha);
+}
+
+double ParetoModel::pdf(double t) const {
+  if (t < scale) return 0.0;
+  return alpha * std::pow(scale, alpha) / std::pow(t, alpha + 1.0);
+}
+
+double ParetoModel::quantile(double u) const {
+  SSR_CHECK_MSG(u >= 0.0 && u < 1.0, "quantile argument must be in [0, 1)");
+  return scale * std::pow(1.0 - u, -1.0 / alpha);
+}
+
+double ParetoModel::mean() const {
+  SSR_CHECK_MSG(alpha > 1.0, "Pareto mean requires alpha > 1");
+  return alpha * scale / (alpha - 1.0);
+}
+
+double isolation_probability(const ParetoModel& model, double deadline,
+                             std::size_t num_tasks) {
+  SSR_CHECK_MSG(num_tasks > 0, "need at least one task");
+  return std::pow(model.cdf(deadline), static_cast<double>(num_tasks));
+}
+
+double utilization_lower_bound(const ParetoModel& model, double deadline) {
+  SSR_CHECK_MSG(model.alpha > 1.0, "utilization bound requires alpha > 1");
+  if (deadline <= model.scale) return 1.0;
+  const double ratio = model.scale / deadline;
+  return model.alpha / (model.alpha - 1.0) * ratio -
+         1.0 / (model.alpha - 1.0) * std::pow(ratio, model.alpha);
+}
+
+double utilization_for_isolation(double alpha, double isolation_p,
+                                 std::size_t num_tasks) {
+  SSR_CHECK_MSG(alpha > 1.0, "requires alpha > 1");
+  SSR_CHECK_MSG(isolation_p >= 0.0 && isolation_p <= 1.0,
+                "P must lie in [0, 1]");
+  SSR_CHECK_MSG(num_tasks > 0, "need at least one task");
+  // Eq. (4): substitute (t_m / D) = (1 - P^{1/N})^{1/alpha} into Eq. (3).
+  const double base =
+      1.0 - std::pow(isolation_p, 1.0 / static_cast<double>(num_tasks));
+  return alpha / (alpha - 1.0) * std::pow(base, 1.0 / alpha) -
+         base / (alpha - 1.0);
+}
+
+SimDuration deadline_for_isolation(const ParetoModel& model, double p,
+                                   std::size_t num_tasks) {
+  SSR_CHECK_MSG(p >= 0.0 && p <= 1.0, "P must lie in [0, 1]");
+  SSR_CHECK_MSG(num_tasks > 0, "need at least one task");
+  if (p >= 1.0) return kTimeInfinity;
+  const double base = 1.0 - std::pow(p, 1.0 / static_cast<double>(num_tasks));
+  return model.scale * std::pow(base, -1.0 / model.alpha);
+}
+
+double hill_tail_index(std::vector<double> samples, std::size_t k) {
+  SSR_CHECK_MSG(k >= 1, "Hill estimator needs k >= 1");
+  SSR_CHECK_MSG(samples.size() > k,
+                "Hill estimator needs more samples than tail order k");
+  for (double s : samples) SSR_CHECK_MSG(s > 0.0, "samples must be positive");
+  std::sort(samples.begin(), samples.end(), std::greater<>());
+  const double threshold = samples[k];  // (k+1)-th largest
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    acc += std::log(samples[i] / threshold);
+  }
+  return static_cast<double>(k) / acc;
+}
+
+}  // namespace ssr

@@ -1,0 +1,55 @@
+// Analytical workload model (Sec. IV-B of the paper).
+//
+// Task durations in production traces follow a Pareto distribution with
+// shape alpha (tail heaviness; production alpha is around 1.6) and scale t_m
+// (shortest task runtime).  These closed forms quantify the trade-off
+// between the isolation guarantee P and the utilization E[U] as a function
+// of the reservation deadline D, and invert Eq. (2) so an operator-specified
+// P yields the deadline the scheduler should impose.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ssr/common/time.h"
+
+namespace ssr {
+
+/// Pareto(alpha, t_m): F(t) = 1 - (t_m / t)^alpha for t >= t_m (Eq. 1).
+struct ParetoModel {
+  double alpha = 1.6;  ///< Shape; > 1 for a finite mean.  Smaller = heavier tail.
+  double scale = 1.0;  ///< t_m: minimum (and most likely) task duration.
+
+  double cdf(double t) const;
+  double pdf(double t) const;
+  /// Inverse CDF: the t with F(t) = u, for u in [0, 1).
+  double quantile(double u) const;
+  double mean() const;
+};
+
+/// Eq. (2): the isolation guarantee P — the probability that all N i.i.d.
+/// Pareto tasks finish before deadline D, i.e. F(D)^N.
+double isolation_probability(const ParetoModel& model, double deadline,
+                             std::size_t num_tasks);
+
+/// Eq. (3): lower bound on expected utilization E[U] when every slot is
+/// reserved until deadline D.  1 at D = t_m (no reservation idle time is
+/// even possible) and decreasing in D.
+double utilization_lower_bound(const ParetoModel& model, double deadline);
+
+/// Eq. (4): the trade-off curve — the Eq. (3) bound expressed as a function
+/// of the isolation guarantee P in [0, 1].  Monotonically decreasing in P.
+double utilization_for_isolation(double alpha, double isolation_p,
+                                 std::size_t num_tasks);
+
+/// Inverts Eq. (2): the deadline enforcing isolation guarantee `p`.
+/// Returns kTimeInfinity for p >= 1 (strict isolation: never expire).
+SimDuration deadline_for_isolation(const ParetoModel& model, double p,
+                                   std::size_t num_tasks);
+
+/// Hill estimator of the Pareto tail index from observed durations, using
+/// the `k` largest order statistics.  Useful for recurring jobs, where the
+/// operator can learn alpha from previous runs (Sec. III-B, Case-2).
+double hill_tail_index(std::vector<double> samples, std::size_t k);
+
+}  // namespace ssr

@@ -1,0 +1,46 @@
+#include "ssr/analysis/straggler_model.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "ssr/common/check.h"
+
+namespace ssr {
+
+PhaseCompletionSample sample_phase_completion(const ParetoModel& model,
+                                              std::size_t num_tasks,
+                                              Rng& rng) {
+  SSR_CHECK_MSG(num_tasks >= 1, "need at least one task");
+  std::vector<double> durations(num_tasks);
+  for (double& d : durations) d = rng.pareto(model.alpha, model.scale);
+  std::sort(durations.begin(), durations.end());
+
+  PhaseCompletionSample out;
+  out.without_mitigation = durations.back();
+
+  // Copies start once ceil(N/2) tasks have finished.
+  const std::size_t half = (num_tasks + 1) / 2;
+  const double copies_start = durations[half - 1];
+  double tail = 0.0;
+  for (std::size_t k = half; k < num_tasks; ++k) {
+    const double remaining = durations[k] - copies_start;
+    const double copy = rng.pareto(model.alpha, model.scale);
+    tail = std::max(tail, std::min(remaining, copy));
+  }
+  out.with_mitigation = copies_start + tail;
+  return out;
+}
+
+double mean_completion_reduction(const ParetoModel& model,
+                                 std::size_t num_tasks, std::size_t runs,
+                                 Rng& rng) {
+  SSR_CHECK_MSG(runs >= 1, "need at least one run");
+  double acc = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    const auto s = sample_phase_completion(model, num_tasks, rng);
+    acc += (s.without_mitigation - s.with_mitigation) / s.without_mitigation;
+  }
+  return acc / static_cast<double>(runs);
+}
+
+}  // namespace ssr

@@ -1,0 +1,40 @@
+// Numerical model of the straggler-mitigation strategy (Sec. IV-C).
+//
+// A phase of N tasks on N slots finishes at T = t_(N) (slowest task).  With
+// the paper's mitigation, copies are launched once half the tasks finished
+// (the point where #reserved-idle slots first equals #ongoing tasks), so
+//
+//   T' = t_(ceil(N/2)) + max_{ceil(N/2) < k <= N} min{ t_(k) - t_(ceil(N/2)),
+//                                                      t'_(k) },
+//
+// where t_(k) is the k-th order statistic of the original durations and
+// t'_(k) an i.i.d. copy duration.  There is no closed form; these helpers
+// run the Monte-Carlo study behind Fig. 10.
+#pragma once
+
+#include <cstddef>
+
+#include "ssr/analysis/pareto.h"
+#include "ssr/common/rng.h"
+
+namespace ssr {
+
+/// One Monte-Carlo draw of a phase's completion time with and without
+/// straggler mitigation.
+struct PhaseCompletionSample {
+  double without_mitigation = 0.0;  ///< T  = t_(N)
+  double with_mitigation = 0.0;     ///< T' as above
+};
+
+/// Draw task durations i.i.d. from `model` and evaluate both completion
+/// times for a phase of `num_tasks` tasks.
+PhaseCompletionSample sample_phase_completion(const ParetoModel& model,
+                                              std::size_t num_tasks, Rng& rng);
+
+/// Average relative reduction of the phase completion time,
+/// mean over `runs` draws of (T - T') / T.  Fig. 10's y-axis.
+double mean_completion_reduction(const ParetoModel& model,
+                                 std::size_t num_tasks, std::size_t runs,
+                                 Rng& rng);
+
+}  // namespace ssr

@@ -1,0 +1,46 @@
+// Lightweight precondition / invariant checking.
+//
+// Simulation correctness depends on a number of internal invariants (slot
+// state machines, barrier ordering, reservation bookkeeping).  Violations are
+// programming errors, so they throw ssr::CheckError which carries the failing
+// expression and location; tests assert on these throws for failure-injection
+// coverage.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ssr {
+
+/// Thrown when an SSR_CHECK* macro fails.  Deriving from std::logic_error
+/// signals "bug in the caller", not an environmental condition.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace ssr
+
+#define SSR_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::ssr::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define SSR_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::ssr::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

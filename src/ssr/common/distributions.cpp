@@ -1,0 +1,140 @@
+#include "ssr/common/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "ssr/common/check.h"
+
+namespace ssr {
+namespace {
+
+class FixedDist final : public DurationDist {
+ public:
+  explicit FixedDist(double value) : value_(value) {
+    SSR_CHECK_MSG(value > 0.0, "durations must be positive");
+  }
+  double sample(Rng&) const override { return value_; }
+  double mean() const override { return value_; }
+
+ private:
+  double value_;
+};
+
+class UniformDist final : public DurationDist {
+ public:
+  UniformDist(double lo, double hi) : lo_(lo), hi_(hi) {
+    SSR_CHECK_MSG(lo > 0.0 && hi >= lo, "require 0 < lo <= hi");
+  }
+  double sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+
+ private:
+  double lo_, hi_;
+};
+
+class ParetoDist final : public DurationDist {
+ public:
+  ParetoDist(double alpha, double scale) : alpha_(alpha), scale_(scale) {
+    SSR_CHECK_MSG(alpha > 1.0, "Pareto shape must exceed 1 for a finite mean");
+    SSR_CHECK_MSG(scale > 0.0, "Pareto scale must be positive");
+  }
+  double sample(Rng& rng) const override { return rng.pareto(alpha_, scale_); }
+  double mean() const override { return alpha_ * scale_ / (alpha_ - 1.0); }
+
+ private:
+  double alpha_, scale_;
+};
+
+class LogNormalDist final : public DurationDist {
+ public:
+  LogNormalDist(double median, double sigma)
+      : mu_(std::log(median)), sigma_(sigma) {
+    SSR_CHECK_MSG(median > 0.0, "median must be positive");
+    SSR_CHECK_MSG(sigma >= 0.0, "sigma must be non-negative");
+  }
+  double sample(Rng& rng) const override {
+    return rng.lognormal(mu_, sigma_);
+  }
+  double mean() const override {
+    return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+  }
+
+ private:
+  double mu_, sigma_;
+};
+
+class EmpiricalDist final : public DurationDist {
+ public:
+  explicit EmpiricalDist(std::vector<double> values)
+      : values_(std::move(values)) {
+    SSR_CHECK_MSG(!values_.empty(), "empirical distribution needs samples");
+    for (double v : values_) SSR_CHECK_MSG(v > 0.0, "durations must be positive");
+    mean_ = std::accumulate(values_.begin(), values_.end(), 0.0) /
+            static_cast<double>(values_.size());
+  }
+  double sample(Rng& rng) const override {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(values_.size()) - 1));
+    return values_[i];
+  }
+  double mean() const override { return mean_; }
+
+ private:
+  std::vector<double> values_;
+  double mean_ = 0.0;
+};
+
+class ScaledDist final : public DurationDist {
+ public:
+  ScaledDist(DurationDistPtr base, double factor)
+      : base_(std::move(base)), factor_(factor) {
+    SSR_CHECK_MSG(base_ != nullptr, "base distribution required");
+    SSR_CHECK_MSG(factor > 0.0, "scale factor must be positive");
+  }
+  double sample(Rng& rng) const override {
+    return factor_ * base_->sample(rng);
+  }
+  double mean() const override { return factor_ * base_->mean(); }
+
+ private:
+  DurationDistPtr base_;
+  double factor_;
+};
+
+}  // namespace
+
+DurationDistPtr fixed_duration(double value) {
+  return std::make_shared<FixedDist>(value);
+}
+
+DurationDistPtr uniform_duration(double lo, double hi) {
+  return std::make_shared<UniformDist>(lo, hi);
+}
+
+DurationDistPtr pareto_duration(double alpha, double scale) {
+  return std::make_shared<ParetoDist>(alpha, scale);
+}
+
+DurationDistPtr pareto_duration_with_mean(double alpha, double mean) {
+  SSR_CHECK_MSG(alpha > 1.0, "Pareto shape must exceed 1 for a finite mean");
+  SSR_CHECK_MSG(mean > 0.0, "mean must be positive");
+  // mean = alpha * scale / (alpha - 1)  =>  scale = mean * (alpha - 1) / alpha
+  const double scale = mean * (alpha - 1.0) / alpha;
+  return std::make_shared<ParetoDist>(alpha, scale);
+}
+
+DurationDistPtr lognormal_duration(double median, double sigma) {
+  return std::make_shared<LogNormalDist>(median, sigma);
+}
+
+DurationDistPtr empirical_duration(std::vector<double> values) {
+  return std::make_shared<EmpiricalDist>(std::move(values));
+}
+
+DurationDistPtr scaled_duration(DurationDistPtr base, double factor) {
+  return std::make_shared<ScaledDist>(std::move(base), factor);
+}
+
+}  // namespace ssr

@@ -1,0 +1,60 @@
+// Duration distributions for task runtimes.
+//
+// Workload generators attach a DurationDist to every stage; the scheduler
+// resamples from the same distribution when it launches a straggler copy
+// (Sec. IV-C of the paper: copy durations t'_(k) are i.i.d. with the
+// originals).  The variant covers everything the paper's evaluation needs:
+// Pareto for trace-like heavy tails, uniform / lognormal for mild skew,
+// fixed for deterministic tests, empirical for trace playback.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ssr/common/rng.h"
+
+namespace ssr {
+
+/// A sampleable distribution over task durations (seconds).  Immutable after
+/// construction; sampling draws from the caller-supplied Rng so the
+/// distribution object itself is shareable across stages and threads.
+class DurationDist {
+ public:
+  virtual ~DurationDist() = default;
+
+  /// Draw one duration.  Always strictly positive.
+  virtual double sample(Rng& rng) const = 0;
+
+  /// Analytical (or empirical) mean, used by workload synthesizers to match
+  /// the paper's "same mean" runtime adjustment (Sec. VI-B, Fig. 17).
+  virtual double mean() const = 0;
+};
+
+using DurationDistPtr = std::shared_ptr<const DurationDist>;
+
+/// Every sample equals `value`.
+DurationDistPtr fixed_duration(double value);
+
+/// Uniform in [lo, hi).
+DurationDistPtr uniform_duration(double lo, double hi);
+
+/// Pareto with shape `alpha` (> 1 for a finite mean) and scale `t_m`.
+DurationDistPtr pareto_duration(double alpha, double scale);
+
+/// Pareto with shape `alpha`, with the scale chosen so the mean equals
+/// `mean`.  This implements the paper's Fig. 17 methodology: reshape a
+/// workload's latency tail while holding the mean fixed.
+DurationDistPtr pareto_duration_with_mean(double alpha, double mean);
+
+/// Log-normal parameterized by the median and the sigma of the underlying
+/// normal (sigma ~ 0.2-0.5 gives the mild skew of healthy ML tasks).
+DurationDistPtr lognormal_duration(double median, double sigma);
+
+/// Samples uniformly from a fixed list of observed durations.
+DurationDistPtr empirical_duration(std::vector<double> values);
+
+/// Wraps `base`, multiplying every sample (and the mean) by `factor`.
+/// Used for the paper's "prolonged background jobs (task runtime x2)".
+DurationDistPtr scaled_duration(DurationDistPtr base, double factor);
+
+}  // namespace ssr

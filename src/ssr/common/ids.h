@@ -1,0 +1,109 @@
+// Strongly-typed identifiers shared across modules.
+//
+// Jobs, stages, tasks, nodes and slots are all dense small integers; wrapping
+// them in distinct structs prevents the classic "passed a slot where a node
+// was expected" class of bugs at zero runtime cost.  StageId and TaskId are
+// hierarchical so a task id alone identifies its job, stage and attempt
+// (attempt > 0 marks a straggler-mitigation copy).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace ssr {
+
+struct JobId {
+  std::uint32_t v = 0;
+  auto operator<=>(const JobId&) const = default;
+};
+
+struct NodeId {
+  std::uint32_t v = 0;
+  auto operator<=>(const NodeId&) const = default;
+};
+
+struct SlotId {
+  std::uint32_t v = 0;
+  auto operator<=>(const SlotId&) const = default;
+};
+
+/// Identifies one phase (Spark: stage) of a job.  `index` follows the
+/// topological submission order produced by the DAG scheduler.
+struct StageId {
+  JobId job;
+  std::uint32_t index = 0;
+  auto operator<=>(const StageId&) const = default;
+};
+
+/// Identifies one task attempt.  attempt 0 is the original; attempt >= 1 are
+/// extra copies launched by the straggler mitigator on reserved slots.
+struct TaskId {
+  StageId stage;
+  std::uint32_t index = 0;
+  std::uint32_t attempt = 0;
+  auto operator<=>(const TaskId&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, JobId id) {
+  return os << "job" << id.v;
+}
+inline std::ostream& operator<<(std::ostream& os, NodeId id) {
+  return os << "node" << id.v;
+}
+inline std::ostream& operator<<(std::ostream& os, SlotId id) {
+  return os << "slot" << id.v;
+}
+inline std::ostream& operator<<(std::ostream& os, StageId id) {
+  return os << id.job << "/s" << id.index;
+}
+inline std::ostream& operator<<(std::ostream& os, TaskId id) {
+  os << id.stage << "/t" << id.index;
+  if (id.attempt != 0) os << "#" << id.attempt;
+  return os;
+}
+
+}  // namespace ssr
+
+namespace std {
+
+template <>
+struct hash<ssr::JobId> {
+  size_t operator()(ssr::JobId id) const noexcept {
+    return hash<uint32_t>{}(id.v);
+  }
+};
+
+template <>
+struct hash<ssr::SlotId> {
+  size_t operator()(ssr::SlotId id) const noexcept {
+    return hash<uint32_t>{}(id.v);
+  }
+};
+
+template <>
+struct hash<ssr::NodeId> {
+  size_t operator()(ssr::NodeId id) const noexcept {
+    return hash<uint32_t>{}(id.v);
+  }
+};
+
+template <>
+struct hash<ssr::StageId> {
+  size_t operator()(const ssr::StageId& id) const noexcept {
+    return (static_cast<size_t>(id.job.v) << 20) ^ id.index;
+  }
+};
+
+template <>
+struct hash<ssr::TaskId> {
+  size_t operator()(const ssr::TaskId& id) const noexcept {
+    size_t h = hash<ssr::StageId>{}(id.stage);
+    h = h * 1000003u + id.index;
+    h = h * 1000003u + id.attempt;
+    return h;
+  }
+};
+
+}  // namespace std

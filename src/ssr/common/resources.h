@@ -1,0 +1,28 @@
+// Multi-dimensional slot resources (Sec. III-C of the paper).
+//
+// Spark slots are homogeneous, but frameworks like Tez let tasks demand
+// different amounts of CPU / memory across phases.  The paper's discussion:
+// speculative reservation still applies — if the slot used by the current
+// phase is too small for the downstream task, release it immediately and
+// pre-reserve one of the right size.  This header provides the small vector
+// type; the default-constructed value keeps the homogeneous behavior.
+#pragma once
+
+#include <algorithm>
+
+namespace ssr {
+
+/// Resource vector of a slot (capacity) or a task (demand).
+struct Resources {
+  double cpu = 1.0;
+  double memory = 1.0;
+
+  /// Componentwise: can a demand of `*this` be served by `capacity`?
+  bool fits_in(const Resources& capacity) const {
+    return cpu <= capacity.cpu && memory <= capacity.memory;
+  }
+
+  bool operator==(const Resources&) const = default;
+};
+
+}  // namespace ssr

@@ -1,0 +1,89 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (workload synthesis, task durations, straggler
+// copies) draws from an ssr::Rng.  Experiments construct one root Rng from a
+// seed and derive independent child streams with fork(); this keeps runs
+// bit-for-bit reproducible while letting sub-systems consume randomness in
+// any order without perturbing one another.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+
+namespace ssr {
+
+/// Seedable pseudo-random source.  Wraps std::mt19937_64 behind a small,
+/// purpose-named API so call sites read as workload statements rather than
+/// <random> boilerplate.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed)
+      : engine_(splitmix64(seed)), base_seed_(splitmix64(seed ^ kForkSalt)) {}
+
+  /// Derive an independent child stream.  The child's seed is a hash of this
+  /// stream's seed and a fork counter, so fork order (not draw order)
+  /// determines it.
+  Rng fork() { return Rng(splitmix64(fork_counter_++ ^ base_seed_)); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Exponential with the given mean (used for Poisson arrival gaps).
+  double exponential_mean(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Pareto(shape alpha, scale t_m) via inverse-CDF sampling.
+  /// F(t) = 1 - (t_m / t)^alpha for t >= t_m.
+  double pareto(double alpha, double scale) {
+    const double u = uniform_eps();
+    return scale * std::pow(u, -1.0 / alpha);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  static constexpr std::uint64_t kForkSalt = 0xA5A5A5A55A5A5A5Aull;
+
+  // Uniform in (0, 1]; never returns 0 so pow(u, -1/alpha) stays finite.
+  double uniform_eps() {
+    double u = std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    return u > 0.0 ? u : std::numeric_limits<double>::min();
+  }
+
+  // SplitMix64: decorrelates adjacent integer seeds before they reach the
+  // Mersenne Twister, whose state initialization is weak for small seeds.
+  static std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  std::mt19937_64 engine_;
+  std::uint64_t base_seed_ = 0;
+  std::uint64_t fork_counter_ = 1;
+};
+
+}  // namespace ssr

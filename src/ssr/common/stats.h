@@ -1,0 +1,39 @@
+// Summary statistics helpers used by metrics collectors and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ssr {
+
+/// Streaming mean / variance (Welford).  Numerically stable for long runs.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample using linear interpolation between order
+/// statistics (the common "type 7" estimator).  `q` in [0, 1].
+/// The input is copied; the caller's vector is untouched.
+double percentile(std::vector<double> values, double q);
+
+/// Arithmetic mean; 0 for an empty vector.
+double mean_of(const std::vector<double>& values);
+
+}  // namespace ssr

@@ -1,0 +1,90 @@
+#include "ssr/common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "ssr/common/check.h"
+
+namespace ssr {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SSR_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  SSR_CHECK_MSG(cells.size() == headers_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+AsciiSeries::AsciiSeries(std::string x_label, std::string y_label,
+                         int max_width)
+    : x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      max_width_(max_width) {
+  SSR_CHECK_MSG(max_width_ > 0, "chart width must be positive");
+}
+
+void AsciiSeries::add_point(double x, double y) {
+  points_.emplace_back(x, y);
+}
+
+void AsciiSeries::print(std::ostream& os) const {
+  double y_max = 0.0;
+  for (const auto& [x, y] : points_) y_max = std::max(y_max, y);
+  os << x_label_ << " vs " << y_label_ << " (bar max = " << y_max << ")\n";
+  for (const auto& [x, y] : points_) {
+    const int bars =
+        y_max > 0.0
+            ? static_cast<int>(y / y_max * static_cast<double>(max_width_))
+            : 0;
+    os << std::setw(10) << std::fixed << std::setprecision(1) << x << " | "
+       << std::string(static_cast<std::size_t>(bars), '#') << ' ' << y
+       << '\n';
+  }
+}
+
+}  // namespace ssr

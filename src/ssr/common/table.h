@@ -1,0 +1,50 @@
+// ASCII table / series rendering for bench output.
+//
+// Every bench binary prints the rows or series of the paper figure it
+// regenerates.  TablePrinter produces aligned, pipe-separated tables that are
+// easy to diff, grep, and paste into EXPERIMENTS.md.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ssr {
+
+/// Builds a fixed-column table and renders it with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a small textual chart: one line per x value with a bar whose
+/// length is proportional to y.  Used by timeline benches (Figs. 5 and 13)
+/// so the *shape* of the paper's time-series plots is visible in plain text.
+class AsciiSeries {
+ public:
+  AsciiSeries(std::string x_label, std::string y_label, int max_width = 60);
+
+  void add_point(double x, double y);
+  void print(std::ostream& os) const;
+
+ private:
+  std::string x_label_;
+  std::string y_label_;
+  int max_width_;
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace ssr

@@ -1,0 +1,24 @@
+// Simulated time.
+//
+// The whole simulator measures time in seconds as `double`.  A double gives
+// sub-microsecond resolution over the hour-scale windows the paper simulates,
+// and keeps the Pareto / order-statistic math in src/ssr/analysis free of unit
+// conversions.  Ties between events at the same instant are broken by a
+// monotone sequence number inside the event queue, never by float comparison.
+#pragma once
+
+#include <limits>
+
+namespace ssr {
+
+/// Simulated time in seconds since the start of the run.
+using SimTime = double;
+
+/// A duration in simulated seconds.
+using SimDuration = double;
+
+inline constexpr SimTime kTimeZero = 0.0;
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<double>::infinity();
+
+}  // namespace ssr

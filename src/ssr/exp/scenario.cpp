@@ -1,0 +1,106 @@
+#include "ssr/exp/scenario.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "ssr/common/check.h"
+#include "ssr/core/reservation_manager.h"
+#include "ssr/sched/engine.h"
+
+namespace ssr {
+
+double RunResult::jct_of(const std::string& name) const {
+  for (const JobResult& j : jobs) {
+    if (j.name == name) return j.jct;
+  }
+  SSR_CHECK_MSG(false, "no job named " + name);
+  return 0.0;
+}
+
+double RunResult::mean_jct_with_prefix(const std::string& prefix) const {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const JobResult& j : jobs) {
+    if (j.name.rfind(prefix, 0) == 0) {
+      acc += j.jct;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+RunResult run_scenario(const ClusterSpec& cluster, std::vector<JobSpec> jobs,
+                       const RunOptions& options) {
+  Engine engine(options.sched, cluster.nodes, cluster.slots_per_node,
+                options.seed);
+  if (options.ssr) {
+    engine.set_reservation_hook(
+        std::make_unique<ReservationManager>(*options.ssr));
+  }
+  TaskStatsCollector task_stats;
+  engine.add_observer(&task_stats);
+
+  std::vector<JobId> ids;
+  ids.reserve(jobs.size());
+  for (JobSpec& spec : jobs) {
+    ids.push_back(engine.submit(std::move(spec)));
+  }
+  engine.run();
+
+  RunResult result;
+  result.jobs.reserve(ids.size());
+  for (JobId id : ids) {
+    JobResult jr;
+    jr.id = id;
+    jr.name = engine.job_name(id);
+    jr.priority = engine.graph(id).priority();
+    jr.submit = engine.graph(id).submit_time();
+    jr.finish = engine.job_finish_time(id);
+    jr.jct = engine.jct(id);
+    result.jobs.push_back(std::move(jr));
+    result.makespan = std::max(result.makespan, engine.job_finish_time(id));
+  }
+  engine.cluster().settle(engine.sim().now());
+  result.busy_time = engine.cluster().total_busy_time();
+  result.reserved_idle_time = engine.cluster().total_reserved_idle_time();
+  result.utilization =
+      result.makespan > 0.0
+          ? result.busy_time /
+                (result.makespan *
+                 static_cast<double>(engine.cluster().num_slots()))
+          : 0.0;
+  result.task_totals = task_stats.totals();
+  return result;
+}
+
+double alone_jct(const ClusterSpec& cluster, JobSpec job,
+                 const RunOptions& options) {
+  std::vector<JobSpec> jobs;
+  jobs.push_back(std::move(job));
+  const RunResult r = run_scenario(cluster, std::move(jobs), options);
+  return r.jobs.front().jct;
+}
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      args.scale = std::stod(argv[++i]);
+      args.scale_set = true;
+      SSR_CHECK_MSG(args.scale >= 1.0, "--scale must be >= 1");
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::stoull(argv[++i]);
+    }
+  }
+  return args;
+}
+
+std::uint32_t BenchArgs::scaled(std::uint32_t value) const {
+  const auto scaled =
+      static_cast<std::uint32_t>(static_cast<double>(value) / scale);
+  return std::max<std::uint32_t>(1, scaled);
+}
+
+}  // namespace ssr

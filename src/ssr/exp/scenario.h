@@ -1,0 +1,82 @@
+// Experiment harness: builds an Engine from a cluster spec + job mix +
+// policy options, runs it, and returns the metrics the paper's figures plot.
+// Every bench binary is a thin driver over these helpers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ssr/core/ssr_config.h"
+#include "ssr/dag/job.h"
+#include "ssr/metrics/collectors.h"
+#include "ssr/sched/types.h"
+
+namespace ssr {
+
+struct ClusterSpec {
+  std::uint32_t nodes = 50;
+  std::uint32_t slots_per_node = 2;  ///< the paper's m4.large: 2 executors
+};
+
+struct RunOptions {
+  SchedConfig sched;
+  /// Reservation policy; nullopt runs the naive work-conserving baseline.
+  std::optional<SsrConfig> ssr;
+  std::uint64_t seed = 1;
+};
+
+struct JobResult {
+  JobId id;
+  std::string name;
+  int priority = 0;
+  SimTime submit = 0.0;
+  SimTime finish = 0.0;
+  SimDuration jct = 0.0;
+};
+
+struct RunResult {
+  std::vector<JobResult> jobs;  ///< submission order
+  SimTime makespan = 0.0;       ///< last job finish time
+  double busy_time = 0.0;       ///< total busy slot-seconds
+  double reserved_idle_time = 0.0;  ///< slot-seconds lost to reservations
+  double utilization = 0.0;     ///< busy fraction over [0, makespan]
+  JobTaskStats task_totals;
+
+  /// JCT of the first job whose name matches exactly; throws if absent.
+  double jct_of(const std::string& name) const;
+
+  /// Mean JCT over all jobs with the given name prefix (e.g. "bg-").
+  double mean_jct_with_prefix(const std::string& prefix) const;
+};
+
+/// Run a full scenario to completion.
+RunResult run_scenario(const ClusterSpec& cluster, std::vector<JobSpec> jobs,
+                       const RunOptions& options);
+
+/// Minimum JCT baseline: the job running alone in the same cluster with the
+/// same options (the paper's slowdown denominator).
+double alone_jct(const ClusterSpec& cluster, JobSpec job,
+                 const RunOptions& options);
+
+/// Measured JCT / alone JCT (Sec. VI "slowdown" metric).
+inline double slowdown(double measured_jct, double alone) {
+  return measured_jct / alone;
+}
+
+/// Parse "--scale N" and "--seed S" style overrides from a bench's argv.
+/// scale divides workload sizes so CI machines can run the large-scale
+/// simulations faster; 1 reproduces the paper-scale setup.
+struct BenchArgs {
+  double scale = 1.0;
+  bool scale_set = false;  ///< whether --scale was passed explicitly
+  std::uint64_t seed = 1;
+
+  static BenchArgs parse(int argc, char** argv);
+  /// value / scale, at least 1 (for counts).
+  std::uint32_t scaled(std::uint32_t value) const;
+};
+
+}  // namespace ssr

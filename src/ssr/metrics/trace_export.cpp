@@ -1,0 +1,114 @@
+#include "ssr/metrics/trace_export.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "ssr/common/check.h"
+#include "ssr/sched/engine.h"
+
+namespace ssr {
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// 1 simulated second -> 1000 trace microseconds (1 ms).
+long long to_us(SimTime t) { return static_cast<long long>(t * 1000.0); }
+
+}  // namespace
+
+void TraceExporter::on_task_started(const Engine& engine, TaskId task,
+                                    SlotId slot) {
+  Attempt a;
+  a.task = task;
+  a.slot = slot;
+  a.start = engine.sim().now();
+  a.job_name = engine.job_name(task.stage.job);
+  open_[task] = events_.size();
+  events_.push_back(std::move(a));
+}
+
+void TraceExporter::close_attempt(TaskId task, SlotId slot, SimTime at,
+                                  bool killed) {
+  auto it = open_.find(task);
+  SSR_CHECK_MSG(it != open_.end(), "finish/kill for unknown attempt");
+  Attempt& a = events_[it->second];
+  SSR_CHECK_MSG(a.slot == slot, "attempt finished on an unexpected slot");
+  a.end = at;
+  a.killed = killed;
+  open_.erase(it);
+}
+
+void TraceExporter::on_task_finished(const Engine& engine, TaskId task,
+                                     SlotId slot) {
+  close_attempt(task, slot, engine.sim().now(), /*killed=*/false);
+}
+
+void TraceExporter::on_task_killed(const Engine& engine, TaskId task,
+                                   SlotId slot) {
+  close_attempt(task, slot, engine.sim().now(), /*killed=*/true);
+}
+
+void TraceExporter::on_job_submitted(const Engine& engine, JobId job) {
+  instants_.push_back(
+      {"submit " + engine.job_name(job), engine.sim().now()});
+}
+
+void TraceExporter::on_job_finished(const Engine& engine, JobId job) {
+  instants_.push_back(
+      {"finish " + engine.job_name(job), engine.sim().now()});
+}
+
+void TraceExporter::write_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (const Attempt& a : events_) {
+    std::ostringstream name;
+    name << a.job_name << " " << a.task;
+    if (a.killed) name << " (killed)";
+    const SimTime end = a.end >= 0.0 ? a.end : a.start;
+    sep();
+    os << "{\"name\":\"" << json_escape(name.str())
+       << "\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":" << to_us(a.start)
+       << ",\"dur\":" << to_us(end - a.start)
+       << ",\"pid\":0,\"tid\":" << a.slot.v << ",\"args\":{\"attempt\":"
+       << a.task.attempt << ",\"killed\":" << (a.killed ? "true" : "false")
+       << "}}";
+  }
+  for (const Instant& i : instants_) {
+    sep();
+    os << "{\"name\":\"" << json_escape(i.name)
+       << "\",\"cat\":\"job\",\"ph\":\"i\",\"s\":\"g\",\"ts\":" << to_us(i.at)
+       << ",\"pid\":0,\"tid\":0}";
+  }
+  os << "]}";
+}
+
+}  // namespace ssr

@@ -1,0 +1,57 @@
+// Chrome-tracing (catapult) export of a simulated run.
+//
+// TraceExporter is an EngineObserver that records every task attempt as a
+// complete event ("ph":"X") on a track per slot, so a run can be loaded
+// into chrome://tracing or https://ui.perfetto.dev and inspected visually:
+// barriers show up as vertical cliffs, reservations as gaps on otherwise
+// busy slot tracks, straggler copies as overlapping attempts of the same
+// task id.  Times are exported in microseconds (1 simulated second = 1 ms
+// of trace time keeps hour-long simulations navigable).
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ssr/common/ids.h"
+#include "ssr/common/time.h"
+#include "ssr/sched/types.h"
+
+namespace ssr {
+
+class TraceExporter : public EngineObserver {
+ public:
+  void on_task_started(const Engine& engine, TaskId task, SlotId slot) override;
+  void on_task_finished(const Engine& engine, TaskId task, SlotId slot) override;
+  void on_task_killed(const Engine& engine, TaskId task, SlotId slot) override;
+  void on_job_submitted(const Engine& engine, JobId job) override;
+  void on_job_finished(const Engine& engine, JobId job) override;
+
+  /// Write the collected events as a Chrome trace JSON document.
+  void write_json(std::ostream& os) const;
+
+  std::size_t event_count() const { return events_.size(); }
+
+ private:
+  struct Attempt {
+    TaskId task;
+    SlotId slot;
+    SimTime start = 0.0;
+    SimTime end = -1.0;  ///< -1 while running
+    bool killed = false;
+    std::string job_name;
+  };
+  struct Instant {
+    std::string name;
+    SimTime at;
+  };
+
+  void close_attempt(TaskId task, SlotId slot, SimTime at, bool killed);
+
+  std::map<TaskId, std::size_t> open_;  ///< running attempt -> index
+  std::vector<Attempt> events_;
+  std::vector<Instant> instants_;
+};
+
+}  // namespace ssr

@@ -1,0 +1,458 @@
+#include "ssr/sched/engine.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "ssr/common/check.h"
+
+namespace ssr {
+
+bool NullReservationHook::approve(const Engine& engine, SlotId slot, JobId,
+                                  int) const {
+  return engine.cluster().slot(slot).state() == SlotState::Idle;
+}
+
+namespace {
+
+void validate_sched_config(const SchedConfig& config) {
+  SSR_CHECK_MSG(config.locality_wait >= 0.0, "locality wait must be >= 0");
+  SSR_CHECK_MSG(config.locality_slowdown >= 1.0,
+                "locality slowdown must be >= 1");
+}
+
+}  // namespace
+
+Engine::Engine(SchedConfig config, std::uint32_t num_nodes,
+               std::uint32_t slots_per_node, std::uint64_t seed)
+    : config_(config),
+      cluster_(num_nodes, slots_per_node),
+      rng_(seed),
+      hook_(std::make_unique<NullReservationHook>()) {
+  validate_sched_config(config_);
+}
+
+Engine::Engine(SchedConfig config,
+               const std::vector<std::vector<Resources>>& node_slots,
+               std::uint64_t seed)
+    : config_(config),
+      cluster_(node_slots),
+      rng_(seed),
+      hook_(std::make_unique<NullReservationHook>()) {
+  validate_sched_config(config_);
+}
+
+Engine::~Engine() = default;
+
+JobId Engine::submit(JobSpec spec) {
+  SSR_CHECK_MSG(!started_, "submit() must precede run()");
+  const JobId id{static_cast<std::uint32_t>(jobs_.size())};
+  auto job = std::make_unique<JobState>(JobGraph(id, std::move(spec)));
+  const std::uint32_t n = job->graph.num_stages();
+  job->unfinished_parents.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    job->unfinished_parents[i] =
+        static_cast<std::uint32_t>(job->graph.stage(i).parents.size());
+  }
+  job->runtimes.resize(n);
+  // Reject jobs that could never run: every stage needs at least one slot
+  // whose capacity covers its demand, or the simulation would wedge.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Resources& demand = job->graph.stage(i).demand;
+    bool fits_somewhere = false;
+    for (std::uint32_t s = 0; s < cluster_.num_slots() && !fits_somewhere;
+         ++s) {
+      fits_somewhere = demand.fits_in(cluster_.slot(SlotId{s}).capacity());
+    }
+    SSR_CHECK_MSG(fits_somewhere,
+                  "stage demand exceeds every slot capacity in the cluster");
+  }
+
+  const SimTime at = job->graph.submit_time();
+  jobs_.push_back(std::move(job));
+  sim_.schedule_at(at, [this, id] { arrive(id); });
+  return id;
+}
+
+void Engine::set_reservation_hook(std::unique_ptr<ReservationHook> hook) {
+  SSR_CHECK_MSG(!started_, "hook must be installed before run()");
+  SSR_CHECK_MSG(hook != nullptr, "hook must not be null");
+  hook_ = std::move(hook);
+}
+
+void Engine::add_observer(EngineObserver* observer) {
+  SSR_CHECK_MSG(observer != nullptr, "observer must not be null");
+  observers_.push_back(observer);
+}
+
+void Engine::run() {
+  SSR_CHECK_MSG(!started_, "run() may be called only once");
+  started_ = true;
+  sim_.run();
+  cluster_.settle(sim_.now());
+  for (const auto& job : jobs_) {
+    if (!job->done()) {
+      std::ostringstream os;
+      os << "simulation wedged: " << job->graph.name() << " ("
+         << job->graph.id() << ") has " << job->finished_stages << "/"
+         << job->graph.num_stages() << " stages finished";
+      SSR_CHECK_MSG(false, os.str());
+    }
+  }
+}
+
+const JobGraph& Engine::graph(JobId job) const { return state(job).graph; }
+
+bool Engine::job_finished(JobId job) const {
+  return state(job).finish_time >= 0.0;
+}
+
+SimTime Engine::job_finish_time(JobId job) const {
+  SSR_CHECK_MSG(job_finished(job), "job has not finished");
+  return state(job).finish_time;
+}
+
+SimDuration Engine::jct(JobId job) const {
+  return job_finish_time(job) - graph(job).submit_time();
+}
+
+std::uint32_t Engine::running_tasks_of(JobId job) const {
+  return state(job).running_tasks;
+}
+
+StageRuntime* Engine::stage_runtime(StageId stage) {
+  auto& job = state(stage.job);
+  if (stage.index >= job.runtimes.size()) return nullptr;
+  return job.runtimes[stage.index].get();
+}
+
+const StageRuntime* Engine::stage_runtime(StageId stage) const {
+  const auto& job = state(stage.job);
+  if (stage.index >= job.runtimes.size()) return nullptr;
+  return job.runtimes[stage.index].get();
+}
+
+// --- Job lifecycle ----------------------------------------------------------
+
+void Engine::arrive(JobId job) {
+  for (EngineObserver* o : observers_) o->on_job_submitted(*this, job);
+  for (std::uint32_t root : state(job).graph.roots()) {
+    submit_stage(job, root);
+  }
+}
+
+std::vector<double> Engine::draw_durations(const StageSpec& spec) {
+  if (spec.explicit_durations) return *spec.explicit_durations;
+  std::vector<double> out(spec.num_tasks);
+  for (double& d : out) d = spec.duration->sample(rng_);
+  return out;
+}
+
+void Engine::submit_stage(JobId job, std::uint32_t stage_index) {
+  JobState& js = state(job);
+  SSR_CHECK_MSG(js.runtimes[stage_index] == nullptr,
+                "stage submitted more than once");
+  const StageId sid = js.graph.stage_id(stage_index);
+  const StageSpec& spec = js.graph.stage(stage_index);
+
+  js.runtimes[stage_index] = std::make_unique<StageRuntime>(
+      sid, spec, sim_.now(), draw_durations(spec));
+  StageRuntime& stage = *js.runtimes[stage_index];
+
+  // Data locality: downstream tasks prefer the slots that produced the
+  // parents' outputs.
+  std::unordered_set<SlotId> preferred;
+  for (std::uint32_t p : spec.parents) {
+    auto it = stage_output_slots_.find(js.graph.stage_id(p));
+    if (it != stage_output_slots_.end()) {
+      preferred.insert(it->second.begin(), it->second.end());
+    }
+  }
+  stage.set_preferred_slots(std::move(preferred));
+
+  active_stages_.push_back(sid);
+  hook_->on_stage_submitted(*this, sid);
+  for (EngineObserver* o : observers_) o->on_stage_submitted(*this, sid);
+
+  place_stage_tasks(stage);
+}
+
+void Engine::on_stage_complete(StageRuntime& stage) {
+  JobState& js = state(stage.id().job);
+  ++js.finished_stages;
+  for (EngineObserver* o : observers_) o->on_stage_finished(*this, stage.id());
+
+  for (std::uint32_t child : js.graph.children(stage.id().index)) {
+    SSR_CHECK(js.unfinished_parents[child] > 0);
+    if (--js.unfinished_parents[child] == 0) {
+      submit_stage(stage.id().job, child);
+    }
+  }
+  if (js.done()) finish_job(stage.id().job);
+}
+
+void Engine::finish_job(JobId job) {
+  JobState& js = state(job);
+  js.finish_time = sim_.now();
+  hook_->on_job_finished(*this, job);  // releases the job's reservations
+  cluster_.forget_job_outputs(job);
+  std::erase_if(stage_output_slots_,
+                [job](const auto& kv) { return kv.first.job == job; });
+  for (EngineObserver* o : observers_) o->on_job_finished(*this, job);
+}
+
+// --- Offers -----------------------------------------------------------------
+
+bool Engine::stage_precedes(const StageRuntime& a, const StageRuntime& b) const {
+  const JobState& ja = state(a.id().job);
+  const JobState& jb = state(b.id().job);
+  if (config_.policy == SchedulingPolicy::Fair) {
+    const double sa =
+        static_cast<double>(ja.running_tasks) / ja.graph.spec().fair_weight;
+    const double sb =
+        static_cast<double>(jb.running_tasks) / jb.graph.spec().fair_weight;
+    if (sa != sb) return sa < sb;
+  } else {
+    if (ja.graph.priority() != jb.graph.priority()) {
+      return ja.graph.priority() > jb.graph.priority();
+    }
+  }
+  if (ja.graph.submit_time() != jb.graph.submit_time()) {
+    return ja.graph.submit_time() < jb.graph.submit_time();
+  }
+  if (a.id().job != b.id().job) return a.id().job < b.id().job;
+  return a.id().index < b.id().index;
+}
+
+bool Engine::stage_accepts_slot(const StageRuntime& stage, SlotId slot) const {
+  const JobId job = stage.id().job;
+  // Resource fit (Sec. III-C): the slot's capacity must cover the stage's
+  // per-task demand.  Homogeneous setups pass trivially ({1,1} in {1,1}).
+  if (!stage.spec().demand.fits_in(cluster_.slot(slot).capacity())) {
+    return false;
+  }
+  if (!hook_->approve(*this, slot, job, state(job).graph.priority())) {
+    return false;
+  }
+  if (stage.is_preferred(slot)) return true;
+  // Non-preferred slots — including the job's own *pre-reserved* ones, which
+  // hold no parent data — are subject to delay scheduling: a guaranteed
+  // remote slot is an option to exercise once the locality wait expires, not
+  // a reason to pay the remote penalty early.
+  return stage.accepts_any_slot(sim_.now(), config_.locality_wait);
+}
+
+void Engine::offer_slot(SlotId slot) {
+  const SlotState st = cluster_.slot(slot).state();
+  if (st == SlotState::Busy) return;
+  // Single linear pass: find the policy-first stage that accepts this slot.
+  // (Sorting all pending stages per offer would dominate large overloaded
+  // simulations; acceptance checks are cheap hash lookups.)
+  StageRuntime* best = nullptr;
+  for (StageId sid : active_stages_) {
+    StageRuntime* stage = stage_runtime(sid);
+    if (stage == nullptr || stage->all_placed()) continue;
+    if (best != nullptr && !stage_precedes(*stage, *best)) continue;
+    if (stage_accepts_slot(*stage, slot)) {
+      best = stage;
+    } else {
+      arm_locality_retry(*stage);
+    }
+  }
+  if (best != nullptr) {
+    const std::uint32_t index = *best->peek_pending();
+    best->take_pending(index);
+    start_attempt(*best, best->mutable_original(index), slot);
+  }
+}
+
+void Engine::place_stage_tasks(StageRuntime& stage) {
+  if (stage.all_placed()) return;
+  const JobId job = stage.id().job;
+
+  // Candidate slots in preference order: (1) slots reserved for this job —
+  // downstream computations reclaim their reservations first; (2) idle slots
+  // holding parent outputs; (3) any other idle slot; (4) lower-priority
+  // reservations (override).  Duplicates are harmless: a consumed slot fails
+  // the availability re-check.
+  std::vector<SlotId> candidates;
+  for (SlotId s : cluster_.reserved_idle_slots()) {
+    if (cluster_.slot(s).reservation()->job == job) candidates.push_back(s);
+  }
+  for (SlotId s : cluster_.idle_slots()) {
+    if (stage.is_preferred(s)) candidates.push_back(s);
+  }
+  for (SlotId s : cluster_.idle_slots()) {
+    if (!stage.is_preferred(s)) candidates.push_back(s);
+  }
+  for (SlotId s : cluster_.reserved_idle_slots()) {
+    if (cluster_.slot(s).reservation()->job != job) candidates.push_back(s);
+  }
+
+  for (SlotId slot : candidates) {
+    if (stage.all_placed()) break;
+    if (cluster_.slot(slot).state() == SlotState::Busy) continue;
+    if (!stage_accepts_slot(stage, slot)) continue;
+    const std::uint32_t index = *stage.peek_pending();
+    stage.take_pending(index);
+    start_attempt(stage, stage.mutable_original(index), slot);
+  }
+  arm_locality_retry(stage);
+}
+
+void Engine::arm_locality_retry(StageRuntime& stage) {
+  if (stage.all_placed() || stage.retry_timer_armed()) return;
+  if (stage.preferred_slots().empty()) return;
+  const SimTime relax = stage.locality_relax_time(config_.locality_wait);
+  if (relax <= sim_.now()) return;  // already accepts any slot
+  stage.set_retry_timer_armed(true);
+  sim_.schedule_at(relax, [this, sid = stage.id()] {
+    StageRuntime* st = stage_runtime(sid);
+    if (st == nullptr) return;
+    st->set_retry_timer_armed(false);
+    if (!st->all_placed()) place_stage_tasks(*st);
+  });
+}
+
+// --- Task execution ----------------------------------------------------------
+
+bool Engine::is_local(const StageRuntime& stage, SlotId slot) const {
+  if (stage.preferred_slots().empty()) return true;
+  return stage.is_preferred(slot);
+}
+
+void Engine::start_attempt(StageRuntime& stage, TaskAttempt& attempt,
+                           SlotId slot) {
+  JobState& js = state(stage.id().job);
+  // Straggler copies always run warm: the reserved slot executed this very
+  // phase moments ago (Sec. IV-C — no JVM warm-up, data already local).
+  const bool local = attempt.id.attempt > 0 || is_local(stage, slot);
+  const double runtime =
+      attempt.base_duration * (local ? 1.0 : config_.locality_slowdown) +
+      config_.task_overhead;
+
+  cluster_.start_task(slot, attempt.id, sim_.now());
+  stage.mark_running(attempt, slot, sim_.now(), local);
+  ++js.running_tasks;
+
+  hook_->on_task_started(*this, attempt.id, slot);
+  for (EngineObserver* o : observers_) o->on_task_started(*this, attempt.id, slot);
+
+  sim_.schedule_after(runtime, [this, sid = stage.id(), tid = attempt.id] {
+    handle_completion(sid, tid);
+  });
+
+  // Copies never change the pending queue; only the placement of the last
+  // original flips the stage to fully-placed.
+  if (attempt.id.attempt == 0 && stage.all_placed()) {
+    std::erase(active_stages_, stage.id());
+    hook_->on_stage_fully_placed(*this, stage.id());
+  }
+}
+
+TaskFinishInfo Engine::make_finish_info(const StageRuntime& stage,
+                                        const TaskAttempt& attempt) const {
+  TaskFinishInfo info;
+  info.task = attempt.id;
+  info.slot = attempt.slot;
+  info.stage_parallelism = stage.parallelism();
+  info.stage_finished = stage.finished_count();
+  info.duration = attempt.finish_time - attempt.start_time;
+  return info;
+}
+
+void Engine::handle_completion(StageId stage_id, TaskId task) {
+  StageRuntime* stage = stage_runtime(stage_id);
+  SSR_CHECK_MSG(stage != nullptr, "completion for unknown stage");
+  TaskAttempt* attempt = stage->find_attempt(task);
+  SSR_CHECK_MSG(attempt != nullptr, "completion for unknown attempt");
+  if (attempt->state != AttemptState::Running) {
+    return;  // lost the copy race and was killed; stale event
+  }
+
+  JobState& js = state(stage_id.job);
+  stage->mark_finished(*attempt, sim_.now());
+  --js.running_tasks;
+  cluster_.finish_task(attempt->slot, sim_.now());
+  stage_output_slots_[stage_id].push_back(attempt->slot);
+
+  // First finisher wins the race (Sec. IV-C): kill the twin attempt.
+  TaskAttempt* twin = nullptr;
+  if (task.attempt == 0) {
+    twin = stage->running_copy(task.index);
+  } else {
+    TaskAttempt& original = stage->mutable_original(task.index);
+    if (original.state == AttemptState::Running) twin = &original;
+  }
+  if (twin != nullptr) kill_attempt(*stage, *twin);
+
+  hook_->on_task_finished(*this, make_finish_info(*stage, *attempt));
+  for (EngineObserver* o : observers_) {
+    o->on_task_finished(*this, task, attempt->slot);
+  }
+
+  if (stage->complete()) on_stage_complete(*stage);
+
+  if (cluster_.slot(attempt->slot).state() == SlotState::Idle) {
+    offer_slot(attempt->slot);
+  }
+}
+
+void Engine::kill_attempt(StageRuntime& stage, TaskAttempt& attempt) {
+  JobState& js = state(stage.id().job);
+  cluster_.kill_task(attempt.slot, sim_.now());
+  stage.mark_killed(attempt, sim_.now());
+  --js.running_tasks;
+  for (EngineObserver* o : observers_) {
+    o->on_task_killed(*this, attempt.id, attempt.slot);
+  }
+  hook_->on_task_killed(*this, make_finish_info(stage, attempt));
+  if (cluster_.slot(attempt.slot).state() == SlotState::Idle) {
+    offer_slot(attempt.slot);
+  }
+}
+
+// --- Reservation operations ---------------------------------------------------
+
+void Engine::reserve_slot(SlotId slot, Reservation reservation) {
+  const SimTime deadline = reservation.deadline;
+  const std::uint64_t token = cluster_.reserve(slot, reservation, sim_.now());
+  if (deadline < kTimeInfinity) {
+    sim_.schedule_at(deadline, [this, slot, token] {
+      if (cluster_.release_if_current(slot, token, sim_.now())) {
+        hook_->on_slot_idle(*this, slot);
+        if (cluster_.slot(slot).state() == SlotState::Idle) offer_slot(slot);
+      }
+    });
+  }
+  // A freshly reserved slot can still serve strictly higher-priority work.
+  offer_slot(slot);
+}
+
+void Engine::release_reservation(SlotId slot) {
+  cluster_.release_reservation(slot, sim_.now());
+  hook_->on_slot_idle(*this, slot);
+  if (cluster_.slot(slot).state() == SlotState::Idle) offer_slot(slot);
+}
+
+bool Engine::launch_copy(StageId stage_id, std::uint32_t task_index,
+                         SlotId slot) {
+  StageRuntime* stage = stage_runtime(stage_id);
+  if (stage == nullptr) return false;
+  const Slot& s = cluster_.slot(slot);
+  if (s.state() != SlotState::ReservedIdle ||
+      s.reservation()->job != stage_id.job) {
+    return false;
+  }
+  if (stage->task_done(task_index)) return false;
+  if (stage->original(task_index).state != AttemptState::Running) return false;
+  if (stage->has_live_copy(task_index)) return false;
+  if (!stage->spec().demand.fits_in(s.capacity())) return false;
+
+  const double duration = stage->spec().duration->sample(rng_);
+  TaskAttempt& copy = stage->add_copy(task_index, duration);
+  start_attempt(*stage, copy, slot);
+  return true;
+}
+
+}  // namespace ssr

@@ -1,0 +1,190 @@
+// The scheduling engine: Spark's DAGScheduler + TaskSchedulerImpl over the
+// discrete-event cluster.
+//
+// Responsibilities:
+//  * job lifecycle: arrival events, barrier tracking, stage submission in
+//    topological order, job completion;
+//  * resourceOffers: when a slot frees (or a stage is submitted) the engine
+//    matches pending task sets to available slots under the configured
+//    policy (priority or fair), delay scheduling, and the reservation hook's
+//    ApprovalLogic;
+//  * task execution: durations with locality penalties, completion events,
+//    straggler-copy races (first finisher wins, the loser is killed).
+//
+// The speculative-slot-reservation core plugs in through ReservationHook;
+// with the default NullReservationHook the engine is a plain work-conserving
+// cluster scheduler — exactly the baseline the paper's Sec. II measures.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ssr/common/ids.h"
+#include "ssr/common/rng.h"
+#include "ssr/common/time.h"
+#include "ssr/dag/job.h"
+#include "ssr/sched/stage_runtime.h"
+#include "ssr/sched/types.h"
+#include "ssr/sim/cluster.h"
+#include "ssr/sim/simulator.h"
+
+namespace ssr {
+
+/// Baseline hook: no reservations ever; only unreserved idle slots are
+/// approved.  Gives the naive work-conserving scheduler of Sec. II.
+class NullReservationHook : public ReservationHook {
+ public:
+  void on_task_finished(Engine&, const TaskFinishInfo&) override {}
+  void on_task_killed(Engine&, const TaskFinishInfo&) override {}
+  void on_slot_idle(Engine&, SlotId) override {}
+  bool approve(const Engine& engine, SlotId slot, JobId job,
+               int priority) const override;
+  void on_stage_submitted(Engine&, StageId) override {}
+  void on_stage_fully_placed(Engine&, StageId) override {}
+  void on_task_started(Engine&, TaskId, SlotId) override {}
+  void on_job_finished(Engine&, JobId) override {}
+};
+
+class Engine {
+ public:
+  Engine(SchedConfig config, std::uint32_t num_nodes,
+         std::uint32_t slots_per_node, std::uint64_t seed);
+
+  /// Heterogeneous cluster (Sec. III-C): per-node slot capacities.
+  Engine(SchedConfig config,
+         const std::vector<std::vector<Resources>>& node_slots,
+         std::uint64_t seed);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Setup ---------------------------------------------------------------
+
+  /// Register a job; its arrival fires at spec.submit_time.  Must be called
+  /// before run().
+  JobId submit(JobSpec spec);
+
+  /// Install the reservation policy (the SSR core).  Must be called before
+  /// run(); defaults to NullReservationHook.
+  void set_reservation_hook(std::unique_ptr<ReservationHook> hook);
+
+  /// Register a metrics observer (non-owning; must outlive run()).
+  void add_observer(EngineObserver* observer);
+
+  /// Run the simulation until every submitted job completes.  Throws
+  /// CheckError if the system wedges with unfinished jobs (an invariant
+  /// violation in a scheduling policy).
+  void run();
+
+  // --- Introspection -------------------------------------------------------
+
+  Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
+  Cluster& cluster() { return cluster_; }
+  const Cluster& cluster() const { return cluster_; }
+  const SchedConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+  std::uint32_t num_jobs() const {
+    return static_cast<std::uint32_t>(jobs_.size());
+  }
+  const JobGraph& graph(JobId job) const;
+  const std::string& job_name(JobId job) const { return graph(job).name(); }
+
+  bool job_finished(JobId job) const;
+  SimTime job_finish_time(JobId job) const;
+  /// Completion time = finish - submit.  Job must have finished.
+  SimDuration jct(JobId job) const;
+
+  std::uint32_t running_tasks_of(JobId job) const;
+
+  /// Runtime of a submitted stage; nullptr before its barrier clears.
+  /// Remains valid after the stage completes (attempt history is kept).
+  StageRuntime* stage_runtime(StageId stage);
+  const StageRuntime* stage_runtime(StageId stage) const;
+
+  // --- Operations used by the reservation core -----------------------------
+
+  /// Reserve an idle slot.  Schedules the expiry event if the reservation
+  /// carries a finite deadline.  Afterwards the slot is offered once to
+  /// higher-priority task sets (they may override immediately).
+  void reserve_slot(SlotId slot, Reservation reservation);
+
+  /// Release a reservation and re-offer the slot.
+  void release_reservation(SlotId slot);
+
+  /// Launch a straggler copy of `task_index` on a slot reserved for the
+  /// stage's job.  Returns false if preconditions fail (task already done,
+  /// copy already live, slot not reserved for this job).
+  bool launch_copy(StageId stage, std::uint32_t task_index, SlotId slot);
+
+ private:
+  struct JobState {
+    explicit JobState(JobGraph g) : graph(std::move(g)) {}
+    JobGraph graph;
+    SimTime finish_time = -1.0;
+    std::uint32_t finished_stages = 0;
+    std::uint32_t running_tasks = 0;
+    /// Per stage: number of parent stages not yet finished.
+    std::vector<std::uint32_t> unfinished_parents;
+    /// Per stage: runtime, created at submission.
+    std::vector<std::unique_ptr<StageRuntime>> runtimes;
+    bool done() const { return finished_stages == graph.num_stages(); }
+  };
+
+  JobState& state(JobId job) { return *jobs_.at(job.v); }
+  const JobState& state(JobId job) const { return *jobs_.at(job.v); }
+
+  void arrive(JobId job);
+  void submit_stage(JobId job, std::uint32_t stage_index);
+
+  /// Draw base durations for a stage (explicit overrides win).
+  std::vector<double> draw_durations(const StageSpec& spec);
+
+  /// Offer one freed slot to pending task sets; at most one task starts.
+  void offer_slot(SlotId slot);
+
+  /// Let a stage greedily grab every available slot it can use.
+  void place_stage_tasks(StageRuntime& stage);
+
+  /// Policy order: does stage `a` outrank stage `b` for the next offer?
+  bool stage_precedes(const StageRuntime& a, const StageRuntime& b) const;
+
+  /// Can `stage` start its next pending task on `slot` right now?
+  /// Checks approval and delay scheduling.  `slot` may be Idle or
+  /// ReservedIdle; reservation override is part of approval.
+  bool stage_accepts_slot(const StageRuntime& stage, SlotId slot) const;
+
+  void start_attempt(StageRuntime& stage, TaskAttempt& attempt, SlotId slot);
+  void handle_completion(StageId stage_id, TaskId task);
+  void kill_attempt(StageRuntime& stage, TaskAttempt& attempt);
+  void on_stage_complete(StageRuntime& stage);
+  void finish_job(JobId job);
+
+  void arm_locality_retry(StageRuntime& stage);
+
+  bool is_local(const StageRuntime& stage, SlotId slot) const;
+
+  TaskFinishInfo make_finish_info(const StageRuntime& stage,
+                                  const TaskAttempt& attempt) const;
+
+  SchedConfig config_;
+  Simulator sim_;
+  Cluster cluster_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<JobState>> jobs_;
+  std::vector<StageId> active_stages_;  ///< stages with pending tasks
+  /// Slots on which each stage's tasks completed (locality index).
+  std::unordered_map<StageId, std::vector<SlotId>> stage_output_slots_;
+
+  std::unique_ptr<ReservationHook> hook_;
+  std::vector<EngineObserver*> observers_;
+  bool started_ = false;
+};
+
+}  // namespace ssr

@@ -1,0 +1,140 @@
+#include "ssr/sched/stage_runtime.h"
+
+#include <algorithm>
+
+#include "ssr/common/check.h"
+
+namespace ssr {
+
+StageRuntime::StageRuntime(StageId id, const StageSpec& spec,
+                           SimTime submitted_at, std::vector<double> durations)
+    : id_(id),
+      spec_(&spec),
+      submitted_at_(submitted_at),
+      last_local_launch_(submitted_at) {
+  SSR_CHECK_MSG(durations.size() == spec.num_tasks,
+                "one duration per task required");
+  originals_.reserve(spec.num_tasks);
+  for (std::uint32_t i = 0; i < spec.num_tasks; ++i) {
+    TaskAttempt attempt;
+    attempt.id = TaskId{id_, i, /*attempt=*/0};
+    attempt.base_duration = durations[i];
+    originals_.push_back(attempt);
+    pending_.push_back(i);
+  }
+}
+
+std::optional<std::uint32_t> StageRuntime::peek_pending() const {
+  if (pending_.empty()) return std::nullopt;
+  return pending_.front();
+}
+
+void StageRuntime::take_pending(std::uint32_t task_index) {
+  auto it = std::find(pending_.begin(), pending_.end(), task_index);
+  SSR_CHECK_MSG(it != pending_.end(), "task not pending");
+  pending_.erase(it);
+}
+
+std::vector<std::uint32_t> StageRuntime::running_task_indices() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < originals_.size(); ++i) {
+    if (originals_[i].state == AttemptState::Running && !task_done(i)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+TaskAttempt& StageRuntime::add_copy(std::uint32_t task_index,
+                                    double base_duration) {
+  SSR_CHECK_MSG(task_index < originals_.size(), "bad task index");
+  std::uint32_t attempt_no = 1;
+  for (const TaskAttempt& c : copies_) {
+    if (c.id.index == task_index) {
+      attempt_no = std::max(attempt_no, c.id.attempt + 1);
+    }
+  }
+  TaskAttempt attempt;
+  attempt.id = TaskId{id_, task_index, attempt_no};
+  attempt.base_duration = base_duration;
+  copies_.push_back(attempt);
+  return copies_.back();
+}
+
+bool StageRuntime::has_live_copy(std::uint32_t task_index) const {
+  return std::any_of(copies_.begin(), copies_.end(),
+                     [task_index](const TaskAttempt& c) {
+                       return c.id.index == task_index &&
+                              (c.state == AttemptState::Pending ||
+                               c.state == AttemptState::Running);
+                     });
+}
+
+TaskAttempt* StageRuntime::running_copy(std::uint32_t task_index) {
+  for (TaskAttempt& c : copies_) {
+    if (c.id.index == task_index && c.state == AttemptState::Running) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+TaskAttempt* StageRuntime::find_attempt(TaskId id) {
+  if (id.stage != id_) return nullptr;
+  if (id.attempt == 0) {
+    if (id.index >= originals_.size()) return nullptr;
+    return &originals_[id.index];
+  }
+  for (TaskAttempt& c : copies_) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+void StageRuntime::mark_running(TaskAttempt& attempt, SlotId slot, SimTime now,
+                                bool local) {
+  SSR_CHECK_MSG(attempt.state == AttemptState::Pending,
+                "attempt already started");
+  attempt.state = AttemptState::Running;
+  attempt.slot = slot;
+  attempt.start_time = now;
+  attempt.local = local;
+  if (attempt.id.attempt == 0) ++running_originals_;
+  if (local) note_local_launch(now);
+}
+
+void StageRuntime::mark_finished(TaskAttempt& attempt, SimTime now) {
+  SSR_CHECK_MSG(attempt.state == AttemptState::Running,
+                "only running attempts can finish");
+  attempt.state = AttemptState::Finished;
+  attempt.finish_time = now;
+  if (attempt.id.attempt == 0) --running_originals_;
+  const bool first_completion_of_task = !done_.contains(attempt.id.index);
+  if (first_completion_of_task) {
+    done_.insert(attempt.id.index);
+    ++finished_;
+    if (!first_finish_duration_) {
+      first_finish_duration_ = now - attempt.start_time;
+    }
+  }
+}
+
+void StageRuntime::mark_killed(TaskAttempt& attempt, SimTime now) {
+  SSR_CHECK_MSG(attempt.state == AttemptState::Running,
+                "only running attempts can be killed");
+  attempt.state = AttemptState::Killed;
+  attempt.finish_time = now;
+  if (attempt.id.attempt == 0) --running_originals_;
+}
+
+bool StageRuntime::accepts_any_slot(SimTime now,
+                                    SimDuration locality_wait) const {
+  if (preferred_.empty()) return true;  // no locality preference at all
+  return now >= locality_relax_time(locality_wait);
+}
+
+SimTime StageRuntime::locality_relax_time(SimDuration locality_wait) const {
+  return last_local_launch_ + locality_wait;
+}
+
+}  // namespace ssr

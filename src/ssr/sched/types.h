@@ -1,0 +1,120 @@
+// Shared scheduler types: configuration, the reservation hook interface the
+// core SSR library implements, and the observer interface metrics collectors
+// implement.
+//
+// The scheduler mirrors Spark's three-layer architecture (Sec. V of the
+// paper): Engine plays DAGScheduler (barrier tracking, stage submission) and
+// TaskSchedulerImpl (resourceOffers + ApprovalLogic); StageRuntime plays
+// TaskSetManager (per-phase task lifecycle and delay scheduling).
+#pragma once
+
+#include <cstdint>
+
+#include "ssr/common/ids.h"
+#include "ssr/common/time.h"
+
+namespace ssr {
+
+class Engine;
+
+/// How the scheduler orders task sets when offering slots.
+enum class SchedulingPolicy {
+  /// Strict priority: higher job priority first; FIFO within a priority.
+  Priority,
+  /// Spark fair scheduler: fewest running tasks per fair-share weight first.
+  Fair,
+};
+
+struct SchedConfig {
+  SchedulingPolicy policy = SchedulingPolicy::Priority;
+
+  /// How long a task set insists on data-local slots before accepting any
+  /// slot (spark.locality.wait; the paper and we use 3 s).
+  SimDuration locality_wait = 3.0;
+
+  /// Multiplier applied to a task's base duration when it runs on a slot
+  /// without its parent stage's output (no data locality, cold executor).
+  /// The paper measured up to two orders of magnitude in the cluster and
+  /// conservatively simulates 5x (10x in the Fig. 15c stress setting).
+  double locality_slowdown = 5.0;
+
+  /// Per-task fixed scheduling overhead added to every attempt's runtime.
+  /// Models driver latency; keeps zero-length phases from being free.
+  SimDuration task_overhead = 0.0;
+};
+
+/// Everything the reservation hook needs to know about a finished (or
+/// killed) task attempt.
+struct TaskFinishInfo {
+  TaskId task;
+  SlotId slot;
+  /// Parallelism m of the task's own stage.
+  std::uint32_t stage_parallelism = 0;
+  /// Number of original tasks of the stage that have finished (including
+  /// this one).
+  std::uint32_t stage_finished = 0;
+  /// This attempt's measured duration (start to finish).
+  SimDuration duration = 0.0;
+};
+
+/// Interface the speculative-slot-reservation core implements; a null
+/// default (no reservations, plain work conservation) is used otherwise.
+///
+/// Call ordering contract, per event:
+///   task completes -> Cluster::finish_task (slot now Idle)
+///                  -> hook.on_task_finished (may reserve the slot)
+///                  -> barrier bookkeeping (stage/job completion)
+///                  -> the slot, if still idle, is offered to task sets.
+class ReservationHook {
+ public:
+  virtual ~ReservationHook() = default;
+
+  /// An original task attempt of a non-copy finished on `slot` (the slot is
+  /// Idle at call time).  Algorithm 1's HandleTaskCompletion.
+  virtual void on_task_finished(Engine& engine, const TaskFinishInfo& info) = 0;
+
+  /// A running attempt was killed because its twin finished first.  The
+  /// paper's mechanism treats the slot like a completed-task slot (it is warm
+  /// and mid-phase), so implementations typically re-reserve it.
+  virtual void on_task_killed(Engine& engine, const TaskFinishInfo& info) = 0;
+
+  /// A slot became idle for a reason other than task completion (reservation
+  /// expiry/override, job teardown).  Gives pre-reservation (Case-2.3) a
+  /// chance to grab it.
+  virtual void on_slot_idle(Engine& engine, SlotId slot) = 0;
+
+  /// ApprovalLogic (Algorithm 1, TryAllocateTask): may `job` with `priority`
+  /// start a task on `slot`?  Must return true for unreserved idle slots.
+  virtual bool approve(const Engine& engine, SlotId slot, JobId job,
+                       int priority) const = 0;
+
+  /// A stage's task set was submitted (its barrier cleared).
+  virtual void on_stage_submitted(Engine& engine, StageId stage) = 0;
+
+  /// Every task of `stage` has been handed a slot; reservations made on the
+  /// stage's behalf that were not consumed can be released.
+  virtual void on_stage_fully_placed(Engine& engine, StageId stage) = 0;
+
+  /// A task attempt started on `slot` (drives straggler-mitigation state).
+  virtual void on_task_started(Engine& engine, TaskId task, SlotId slot) = 0;
+
+  /// The job finished; all its reservations must be dropped.
+  virtual void on_job_finished(Engine& engine, JobId job) = 0;
+};
+
+/// Passive observer for metrics collection.  All callbacks fire at the
+/// simulated instant the event occurs.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  virtual void on_job_submitted(const Engine&, JobId) {}
+  virtual void on_job_finished(const Engine&, JobId) {}
+  virtual void on_stage_submitted(const Engine&, StageId) {}
+  virtual void on_stage_finished(const Engine&, StageId) {}
+  virtual void on_task_started(const Engine&, TaskId, SlotId) {}
+  virtual void on_task_finished(const Engine&, TaskId, SlotId) {}
+  virtual void on_task_killed(const Engine&, TaskId, SlotId) {}
+};
+
+}  // namespace ssr

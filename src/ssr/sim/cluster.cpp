@@ -1,0 +1,154 @@
+#include "ssr/sim/cluster.h"
+
+#include <utility>
+
+namespace ssr {
+
+Cluster::Cluster(std::uint32_t num_nodes, std::uint32_t slots_per_node)
+    : num_nodes_(num_nodes) {
+  SSR_CHECK_MSG(num_nodes > 0 && slots_per_node > 0,
+                "cluster must have at least one slot");
+  slots_.reserve(static_cast<std::size_t>(num_nodes) * slots_per_node);
+  std::uint32_t next_slot = 0;
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    for (std::uint32_t s = 0; s < slots_per_node; ++s) {
+      slots_.emplace_back(SlotId{next_slot}, NodeId{n});
+      idle_.insert(SlotId{next_slot});
+      ++next_slot;
+    }
+  }
+}
+
+Cluster::Cluster(const std::vector<std::vector<Resources>>& node_slots)
+    : num_nodes_(static_cast<std::uint32_t>(node_slots.size())) {
+  SSR_CHECK_MSG(!node_slots.empty(), "cluster must have at least one node");
+  std::uint32_t next_slot = 0;
+  for (std::uint32_t n = 0; n < node_slots.size(); ++n) {
+    SSR_CHECK_MSG(!node_slots[n].empty(), "node must have at least one slot");
+    for (const Resources& cap : node_slots[n]) {
+      SSR_CHECK_MSG(cap.cpu > 0.0 && cap.memory > 0.0,
+                    "slot capacity must be positive");
+      slots_.emplace_back(SlotId{next_slot}, NodeId{n}, cap);
+      idle_.insert(SlotId{next_slot});
+      ++next_slot;
+    }
+  }
+}
+
+void Cluster::accrue(Slot& s, SimTime now) {
+  SSR_CHECK_MSG(now >= s.state_since_, "time moved backwards");
+  const double elapsed = now - s.state_since_;
+  switch (s.state_) {
+    case SlotState::Busy:
+      s.busy_time_ += elapsed;
+      break;
+    case SlotState::ReservedIdle:
+      s.reserved_idle_time_ += elapsed;
+      reserved_idle_by_job_[s.reservation_->job] += elapsed;
+      break;
+    case SlotState::Idle:
+      break;
+  }
+  s.state_since_ = now;
+}
+
+void Cluster::start_task(SlotId id, TaskId task, SimTime now) {
+  Slot& s = mutable_slot(id);
+  SSR_CHECK_MSG(s.state_ != SlotState::Busy, "slot already running a task");
+  accrue(s, now);
+  if (s.state_ == SlotState::Idle) {
+    idle_.erase(id);
+  } else {
+    reserved_idle_.erase(id);
+    s.reservation_.reset();
+  }
+  s.state_ = SlotState::Busy;
+  s.running_task_ = task;
+}
+
+void Cluster::finish_task(SlotId id, SimTime now) {
+  Slot& s = mutable_slot(id);
+  SSR_CHECK_MSG(s.state_ == SlotState::Busy, "no task running on slot");
+  accrue(s, now);
+  s.resident_outputs_.insert(s.running_task_->stage);
+  s.running_task_.reset();
+  s.state_ = SlotState::Idle;
+  idle_.insert(id);
+}
+
+void Cluster::kill_task(SlotId id, SimTime now) {
+  Slot& s = mutable_slot(id);
+  SSR_CHECK_MSG(s.state_ == SlotState::Busy, "no task running on slot");
+  accrue(s, now);
+  s.running_task_.reset();
+  s.state_ = SlotState::Idle;
+  idle_.insert(id);
+}
+
+std::uint64_t Cluster::reserve(SlotId id, Reservation reservation,
+                               SimTime now) {
+  Slot& s = mutable_slot(id);
+  SSR_CHECK_MSG(s.state_ == SlotState::Idle, "only idle slots can be reserved");
+  accrue(s, now);
+  idle_.erase(id);
+  reservation.token = next_token_++;
+  s.reservation_ = reservation;
+  s.state_ = SlotState::ReservedIdle;
+  reserved_idle_.insert(id);
+  return reservation.token;
+}
+
+void Cluster::release_reservation(SlotId id, SimTime now) {
+  Slot& s = mutable_slot(id);
+  SSR_CHECK_MSG(s.state_ == SlotState::ReservedIdle, "slot not reserved");
+  accrue(s, now);
+  reserved_idle_.erase(id);
+  s.reservation_.reset();
+  s.state_ = SlotState::Idle;
+  idle_.insert(id);
+}
+
+bool Cluster::release_if_current(SlotId id, std::uint64_t token, SimTime now) {
+  Slot& s = mutable_slot(id);
+  if (s.state_ != SlotState::ReservedIdle || !s.reservation_ ||
+      s.reservation_->token != token) {
+    return false;
+  }
+  release_reservation(id, now);
+  return true;
+}
+
+void Cluster::forget_job_outputs(JobId job) {
+  for (Slot& s : slots_) {
+    std::erase_if(s.resident_outputs_,
+                  [job](const StageId& st) { return st.job == job; });
+  }
+}
+
+void Cluster::settle(SimTime now) {
+  for (Slot& s : slots_) accrue(s, now);
+}
+
+double Cluster::total_busy_time() const {
+  double total = 0.0;
+  for (const Slot& s : slots_) total += s.busy_time_;
+  return total;
+}
+
+double Cluster::total_reserved_idle_time() const {
+  double total = 0.0;
+  for (const Slot& s : slots_) total += s.reserved_idle_time_;
+  return total;
+}
+
+double Cluster::reserved_idle_time_of(JobId job) const {
+  auto it = reserved_idle_by_job_.find(job);
+  return it == reserved_idle_by_job_.end() ? 0.0 : it->second;
+}
+
+double Cluster::utilization(SimTime now) const {
+  if (now <= 0.0) return 0.0;
+  return total_busy_time() / (now * static_cast<double>(slots_.size()));
+}
+
+}  // namespace ssr

@@ -1,0 +1,163 @@
+// Cluster model: nodes, compute slots, slot state machine, and the
+// bookkeeping that the paper's mechanism rests on — which stage outputs are
+// resident on which slot (data locality / warm executor) and how much time
+// each slot spends busy versus reserved-but-idle (utilization accounting).
+//
+// The model corresponds to the paper's Spark deployment: each node hosts a
+// fixed number of executors ("slots"); one slot runs one task at a time.  A
+// slot is Idle, Busy, or ReservedIdle.  ReservedIdle is the state introduced
+// by speculative slot reservation: the slot is empty but withheld from jobs
+// whose priority does not exceed the reservation's.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ssr/common/check.h"
+#include "ssr/common/ids.h"
+#include "ssr/common/resources.h"
+#include "ssr/common/time.h"
+
+namespace ssr {
+
+enum class SlotState { Idle, Busy, ReservedIdle };
+
+/// A reservation held on a ReservedIdle slot (Algorithm 1 of the paper).
+struct Reservation {
+  JobId job;                         ///< Reserving job; its tasks always pass
+                                     ///< the approval check.
+  int priority = 0;                  ///< Inherited from the reserving job.
+  SimTime deadline = kTimeInfinity;  ///< Absolute expiry (Sec. IV-B knob).
+  StageId for_stage;                 ///< Downstream stage being served.
+  std::uint64_t token = 0;           ///< Generation counter; expiry events
+                                     ///< validate it before releasing.
+};
+
+/// One compute slot (a Spark executor).  State transitions are performed by
+/// Cluster so that time accounting and the free-slot indexes stay coherent.
+class Slot {
+ public:
+  Slot(SlotId id, NodeId node, Resources capacity = {})
+      : id_(id), node_(node), capacity_(capacity) {}
+
+  SlotId id() const { return id_; }
+  NodeId node() const { return node_; }
+  SlotState state() const { return state_; }
+
+  /// Resource capacity (Sec. III-C); homogeneous {1, 1} by default.
+  const Resources& capacity() const { return capacity_; }
+
+  const std::optional<Reservation>& reservation() const { return reservation_; }
+  const std::optional<TaskId>& running_task() const { return running_task_; }
+
+  /// True if the output data of `stage` is resident on this slot, i.e. a
+  /// task of `stage` completed here.  Downstream tasks scheduled on such a
+  /// slot run at full speed; elsewhere they pay the locality penalty.
+  bool has_output(StageId stage) const {
+    return resident_outputs_.contains(stage);
+  }
+
+  double busy_time() const { return busy_time_; }
+  double reserved_idle_time() const { return reserved_idle_time_; }
+
+ private:
+  friend class Cluster;
+
+  SlotId id_;
+  NodeId node_;
+  Resources capacity_;
+  SlotState state_ = SlotState::Idle;
+  std::optional<Reservation> reservation_;
+  std::optional<TaskId> running_task_;
+  std::unordered_set<StageId> resident_outputs_;
+
+  SimTime state_since_ = kTimeZero;
+  double busy_time_ = 0.0;
+  double reserved_idle_time_ = 0.0;
+};
+
+/// The whole cluster.  Owns all slots, performs state transitions, maintains
+/// deterministic (id-ordered) indexes of idle and reserved-idle slots, and
+/// accumulates utilization statistics per slot and per reserving job.
+class Cluster {
+ public:
+  /// Homogeneous cluster: every slot has capacity {1, 1}.
+  Cluster(std::uint32_t num_nodes, std::uint32_t slots_per_node);
+
+  /// Heterogeneous cluster: node_slots[i] lists the capacities of node i's
+  /// slots (Sec. III-C scenarios, e.g. big-memory slots on some nodes).
+  explicit Cluster(const std::vector<std::vector<Resources>>& node_slots);
+
+  std::uint32_t num_nodes() const { return num_nodes_; }
+  std::uint32_t num_slots() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  const Slot& slot(SlotId id) const { return slots_.at(id.v); }
+
+  /// Slots currently Idle (unreserved), ordered by id for determinism.
+  const std::set<SlotId>& idle_slots() const { return idle_; }
+
+  /// Slots currently ReservedIdle, ordered by id.
+  const std::set<SlotId>& reserved_idle_slots() const { return reserved_idle_; }
+
+  // --- State transitions -------------------------------------------------
+
+  /// Idle|ReservedIdle -> Busy.  Starting a task on a reserved slot consumes
+  /// the reservation (the caller's approval logic decides whether that is
+  /// legal; the cluster only records the transition).
+  void start_task(SlotId id, TaskId task, SimTime now);
+
+  /// Busy -> Idle; records the completed task's stage output as resident.
+  void finish_task(SlotId id, SimTime now);
+
+  /// Busy -> Idle without recording output (straggler copy or original that
+  /// lost the race and was killed mid-flight).
+  void kill_task(SlotId id, SimTime now);
+
+  /// Idle -> ReservedIdle.  Returns the generation token the expiry event
+  /// must present to release_if_current().
+  std::uint64_t reserve(SlotId id, Reservation reservation, SimTime now);
+
+  /// ReservedIdle -> Idle (deadline expiry, job completion, override).
+  void release_reservation(SlotId id, SimTime now);
+
+  /// Releases only if the slot is still ReservedIdle under the same token.
+  /// Safe to call from a stale deadline event; returns true if released.
+  bool release_if_current(SlotId id, std::uint64_t token, SimTime now);
+
+  /// Drop all resident outputs belonging to `job` (job finished; its data is
+  /// no longer useful and the sets would otherwise grow without bound).
+  void forget_job_outputs(JobId job);
+
+  // --- Accounting ---------------------------------------------------------
+
+  /// Flush per-slot accounting up to `now` (call before reading totals).
+  void settle(SimTime now);
+
+  double total_busy_time() const;
+  double total_reserved_idle_time() const;
+
+  /// Reserved-idle seconds attributable to reservations held by `job`.
+  double reserved_idle_time_of(JobId job) const;
+
+  /// Fraction of slot-seconds spent busy over [0, now]; call settle() first.
+  double utilization(SimTime now) const;
+
+ private:
+  Slot& mutable_slot(SlotId id) { return slots_.at(id.v); }
+  void accrue(Slot& s, SimTime now);
+
+  std::uint32_t num_nodes_;
+  std::vector<Slot> slots_;
+  std::set<SlotId> idle_;
+  std::set<SlotId> reserved_idle_;
+  std::unordered_map<JobId, double> reserved_idle_by_job_;
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace ssr

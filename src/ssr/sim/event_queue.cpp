@@ -1,0 +1,27 @@
+#include "ssr/sim/event_queue.h"
+
+#include <utility>
+
+#include "ssr/common/check.h"
+
+namespace ssr {
+
+void EventQueue::push(SimTime at, Callback fn) {
+  SSR_CHECK_MSG(fn != nullptr, "event callback required");
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::next_time() const {
+  return heap_.empty() ? kTimeInfinity : heap_.top().at;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+  SSR_CHECK_MSG(!heap_.empty(), "pop from empty event queue");
+  // priority_queue::top() is const&; the move is safe because we pop
+  // immediately after and never observe the moved-from element.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return {ev.at, std::move(ev.fn)};
+}
+
+}  // namespace ssr

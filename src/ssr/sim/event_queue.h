@@ -1,0 +1,48 @@
+// Min-time event queue for the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "ssr/common/time.h"
+
+namespace ssr {
+
+/// Time-ordered queue of callbacks.  Events at the same instant fire in
+/// insertion order (a monotone sequence number breaks ties), which makes runs
+/// deterministic regardless of floating-point coincidences.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void push(SimTime at, Callback fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; kTimeInfinity when empty.
+  SimTime next_time() const;
+
+  /// Removes and returns the earliest event.  Precondition: !empty().
+  std::pair<SimTime, Callback> pop();
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ssr

@@ -1,0 +1,44 @@
+#include "ssr/sim/simulator.h"
+
+#include <utility>
+
+#include "ssr/common/check.h"
+
+namespace ssr {
+
+void Simulator::schedule_at(SimTime at, Callback fn) {
+  SSR_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+  queue_.push(at, std::move(fn));
+}
+
+void Simulator::schedule_after(SimDuration delay, Callback fn) {
+  SSR_CHECK_MSG(delay >= 0.0, "negative delay");
+  queue_.push(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [at, fn] = queue_.pop();
+  now_ = at;
+  ++processed_;
+  fn();
+  return true;
+}
+
+void Simulator::run(std::size_t max_events) {
+  while (step()) {
+    if (max_events != 0 && processed_ >= max_events) {
+      SSR_CHECK_MSG(queue_.empty(),
+                    "simulation exceeded the configured event budget");
+    }
+  }
+}
+
+void Simulator::run_until(SimTime horizon) {
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    step();
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+}  // namespace ssr

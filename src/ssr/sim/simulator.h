@@ -1,0 +1,50 @@
+// Discrete-event simulation engine.
+//
+// The simulator advances a virtual clock from event to event.  All other
+// modules (scheduler, reservation manager, workload arrival process) interact
+// with time exclusively through this interface, which makes every experiment
+// deterministic and instantaneous in wall-clock terms.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "ssr/common/time.h"
+#include "ssr/sim/event_queue.h"
+
+namespace ssr {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// Current simulated time.  Starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at`; `at` must not be in the past.
+  void schedule_at(SimTime at, Callback fn);
+
+  /// Schedule `fn` after `delay` (>= 0) simulated seconds.
+  void schedule_after(SimDuration delay, Callback fn);
+
+  /// Run one event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains.  `max_events` guards against runaway
+  /// feedback loops in buggy policies (0 = unlimited).
+  void run(std::size_t max_events = 0);
+
+  /// Run events with time <= horizon; afterwards now() == horizon if any
+  /// events remained, or the last event time otherwise.
+  void run_until(SimTime horizon);
+
+  std::size_t processed_events() const { return processed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = kTimeZero;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace ssr

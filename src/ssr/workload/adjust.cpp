@@ -1,0 +1,48 @@
+#include "ssr/workload/adjust.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ssr/common/check.h"
+
+namespace ssr {
+
+JobSpec pareto_adjust(JobSpec spec, double alpha, Rng& rng) {
+  for (StageSpec& st : spec.stages) {
+    const double mean = st.duration->mean();
+    const DurationDistPtr pareto = pareto_duration_with_mean(alpha, mean);
+    std::vector<double> durations(st.num_tasks);
+    for (double& d : durations) d = pareto->sample(rng);
+    st.explicit_durations = std::move(durations);
+    st.duration = pareto;
+  }
+  return spec;
+}
+
+JobSpec prolong(JobSpec spec, double factor) {
+  SSR_CHECK_MSG(factor > 0.0, "factor must be positive");
+  for (StageSpec& st : spec.stages) {
+    st.duration = scaled_duration(st.duration, factor);
+    if (st.explicit_durations) {
+      for (double& d : *st.explicit_durations) d *= factor;
+    }
+  }
+  return spec;
+}
+
+JobSpec scale_parallelism(JobSpec spec, double factor) {
+  SSR_CHECK_MSG(factor > 0.0, "factor must be positive");
+  for (StageSpec& st : spec.stages) {
+    const auto scaled = static_cast<std::uint32_t>(
+        std::lround(static_cast<double>(st.num_tasks) * factor));
+    const std::uint32_t new_tasks = std::max<std::uint32_t>(1, scaled);
+    if (st.explicit_durations) {
+      // Explicit durations no longer line up; drop them back to the model.
+      st.explicit_durations.reset();
+    }
+    st.num_tasks = new_tasks;
+  }
+  return spec;
+}
+
+}  // namespace ssr

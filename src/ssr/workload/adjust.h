@@ -1,0 +1,24 @@
+// Workload adjustments used by the evaluation.
+#pragma once
+
+#include "ssr/common/rng.h"
+#include "ssr/dag/job.h"
+
+namespace ssr {
+
+/// Fig. 17 methodology: re-draw every stage's task durations from a Pareto
+/// distribution with shape `alpha` and the *same mean* as the stage's
+/// original duration model, materializing them as explicit durations.  The
+/// stage's resampling distribution (used for straggler copies) is replaced
+/// by the same Pareto model.
+JobSpec pareto_adjust(JobSpec spec, double alpha, Rng& rng);
+
+/// "Prolonged background jobs": multiply every stage's task durations by
+/// `factor` (the paper's task runtime x2 experiments).
+JobSpec prolong(JobSpec spec, double factor);
+
+/// Double the degree of parallelism of every stage (the paper's "MLlib jobs
+/// with 2x degree of parallelism" foreground suite in Fig. 15).
+JobSpec scale_parallelism(JobSpec spec, double factor);
+
+}  // namespace ssr

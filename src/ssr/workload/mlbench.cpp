@@ -1,0 +1,64 @@
+#include "ssr/workload/mlbench.h"
+
+#include "ssr/common/check.h"
+
+namespace ssr {
+
+JobSpec make_ml_job(const MlJobParams& params) {
+  SSR_CHECK_MSG(params.parallelism > 0, "parallelism must be positive");
+  SSR_CHECK_MSG(params.iterations > 0, "need at least one iteration");
+  JobBuilder b(params.name);
+  b.priority(params.priority)
+      .submit_at(params.submit_time)
+      .parallelism_known(params.parallelism_known);
+  // Load/parse phase: reads input, noticeably longer than iterations.
+  b.stage(params.parallelism,
+          lognormal_duration(
+              params.mean_task_seconds * params.load_phase_factor,
+              params.skew_sigma));
+  for (std::uint32_t i = 0; i < params.iterations; ++i) {
+    b.stage(params.parallelism,
+            lognormal_duration(params.mean_task_seconds, params.skew_sigma));
+  }
+  return b.build();
+}
+
+JobSpec make_kmeans(std::uint32_t parallelism, int priority,
+                    SimTime submit_time) {
+  MlJobParams p;
+  p.name = "kmeans";
+  p.parallelism = parallelism;
+  p.iterations = 8;           // Lloyd iterations until convergence
+  p.mean_task_seconds = 4.0;  // distance computation per partition
+  p.skew_sigma = 0.35;
+  p.priority = priority;
+  p.submit_time = submit_time;
+  return make_ml_job(p);
+}
+
+JobSpec make_svm(std::uint32_t parallelism, int priority, SimTime submit_time) {
+  MlJobParams p;
+  p.name = "svm";
+  p.parallelism = parallelism;
+  p.iterations = 12;          // SGD epochs: more, shorter phases
+  p.mean_task_seconds = 2.5;  // gradient computation per partition
+  p.skew_sigma = 0.30;
+  p.priority = priority;
+  p.submit_time = submit_time;
+  return make_ml_job(p);
+}
+
+JobSpec make_pagerank(std::uint32_t parallelism, int priority,
+                      SimTime submit_time) {
+  MlJobParams p;
+  p.name = "pagerank";
+  p.parallelism = parallelism;
+  p.iterations = 10;          // power iterations
+  p.mean_task_seconds = 5.0;  // edge-centric updates, heavier tasks
+  p.skew_sigma = 0.55;        // power-law vertex degrees: stronger skew
+  p.priority = priority;
+  p.submit_time = submit_time;
+  return make_ml_job(p);
+}
+
+}  // namespace ssr

@@ -1,0 +1,45 @@
+// Synthetic SparkBench-style machine-learning / graph-analytics jobs.
+//
+// The paper's foreground workloads are KMeans, SVM and PageRank from
+// SparkBench.  For the mechanism under study only three properties matter:
+// (1) a chain of many barrier-separated phases (iterative algorithms),
+// (2) a stable degree of parallelism across phases (Sec. III-B Case-1 and
+//     the "91% of jobs never change parallelism" statistic), and
+// (3) mildly skewed task durations within a phase (data skew, stragglers).
+// These generators reproduce those shapes with documented defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ssr/common/rng.h"
+#include "ssr/dag/job.h"
+
+namespace ssr {
+
+struct MlJobParams {
+  std::string name = "kmeans";
+  std::uint32_t parallelism = 20;   ///< degree of parallelism per phase
+  std::uint32_t iterations = 8;     ///< iterative phases after the load phase
+  double mean_task_seconds = 4.0;   ///< median task runtime per phase
+  double skew_sigma = 0.35;         ///< lognormal sigma (in-phase skew)
+  double load_phase_factor = 2.0;   ///< the input-load phase is longer
+  int priority = 10;
+  SimTime submit_time = 0.0;
+  /// Iterative ML jobs keep their parallelism; the scheduler may use it.
+  bool parallelism_known = true;
+};
+
+/// Chain job: load phase + `iterations` compute phases, stable parallelism.
+JobSpec make_ml_job(const MlJobParams& params);
+
+/// The three SparkBench applications with paper-flavored defaults.
+/// `parallelism` scales the job (Fig. 1 uses 8; Figs. 4/5 use 20).
+JobSpec make_kmeans(std::uint32_t parallelism, int priority,
+                    SimTime submit_time = 0.0);
+JobSpec make_svm(std::uint32_t parallelism, int priority,
+                 SimTime submit_time = 0.0);
+JobSpec make_pagerank(std::uint32_t parallelism, int priority,
+                      SimTime submit_time = 0.0);
+
+}  // namespace ssr

@@ -1,0 +1,67 @@
+#include "ssr/workload/sqlbench.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ssr/common/check.h"
+
+namespace ssr {
+namespace {
+
+std::uint32_t scaled_width(std::uint32_t base, double factor) {
+  const auto w =
+      static_cast<std::uint32_t>(std::lround(static_cast<double>(base) * factor));
+  return std::max<std::uint32_t>(1, w);
+}
+
+}  // namespace
+
+JobSpec make_sql_query(const SqlJobParams& params) {
+  SSR_CHECK_MSG(params.query_index < 20, "query index must be 0..19");
+  SSR_CHECK_MSG(params.base_parallelism > 0, "parallelism must be positive");
+
+  const std::uint32_t q = params.query_index;
+  JobBuilder b("tpcds-q" + std::to_string(q + 1));
+  b.priority(params.priority)
+      .submit_at(params.submit_time)
+      .parallelism_known(params.parallelism_known);
+
+  auto dist = [&](double factor) {
+    return lognormal_duration(params.mean_task_seconds * factor,
+                              params.skew_sigma);
+  };
+
+  // Width multipliers cycle per query so the suite mixes every transition
+  // direction Algorithm 1 distinguishes: equal (m == n), shrinking (m > n),
+  // and expanding (m < n).
+  static constexpr double kWidthCycle[] = {1.0, 0.5, 1.5, 0.75, 1.25, 0.25};
+  const std::uint32_t depth = 3 + q % 4;  // 3..6 phases after the scans
+
+  if (q % 3 == 0) {
+    // Join template: two scan branches feeding a shuffle join.
+    const std::uint32_t fact_scan = params.base_parallelism;
+    const std::uint32_t dim_scan = scaled_width(params.base_parallelism, 0.5);
+    b.stage_with_parents(fact_scan, dist(1.0), {});        // stage 0
+    b.stage_with_parents(dim_scan, dist(0.6), {});         // stage 1
+    const std::uint32_t join_width =
+        scaled_width(params.base_parallelism, kWidthCycle[q % 6]);
+    b.stage_with_parents(join_width, dist(1.2), {0, 1});   // stage 2
+    std::uint32_t prev = 2;
+    for (std::uint32_t d = 1; d < depth; ++d) {
+      const double f = kWidthCycle[(q + d) % 6];
+      b.stage_with_parents(scaled_width(params.base_parallelism, f),
+                           dist(0.8), {prev});
+      prev += 1;
+    }
+  } else {
+    // Pipeline template: scan followed by depth phases of varying widths.
+    b.stage(params.base_parallelism, dist(1.0));
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      const double f = kWidthCycle[(q + d) % 6];
+      b.stage(scaled_width(params.base_parallelism, f), dist(0.8));
+    }
+  }
+  return b.build();
+}
+
+}  // namespace ssr

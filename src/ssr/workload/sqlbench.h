@@ -1,0 +1,35 @@
+// Synthetic TPC-DS-style SQL query jobs.
+//
+// The paper's SQL traces (Ousterhout et al., 20 TPC-DS queries) expose the
+// one property ML chains lack: the degree of parallelism *changes* between
+// phases — wide scans feed narrower joins and aggregations, and shuffles can
+// widen again.  Sec. VI-B attributes SQL jobs' larger slowdown to exactly
+// this, making them the stress test for pre-reservation (Fig. 16).
+//
+// Each of the 20 query templates is a small tree DAG with a deterministic
+// shape derived from the query index; task durations are lognormal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ssr/common/rng.h"
+#include "ssr/dag/job.h"
+
+namespace ssr {
+
+struct SqlJobParams {
+  std::uint32_t query_index = 0;    ///< 0..19: selects the DAG template
+  std::uint32_t base_parallelism = 16;  ///< width of the scan phases
+  double mean_task_seconds = 3.0;
+  double skew_sigma = 0.4;
+  int priority = 10;
+  SimTime submit_time = 0.0;
+  bool parallelism_known = true;
+};
+
+/// Build one TPC-DS-like query job.  Shapes cycle deterministically through
+/// 20 templates mixing shrinking and expanding phase widths.
+JobSpec make_sql_query(const SqlJobParams& params);
+
+}  // namespace ssr

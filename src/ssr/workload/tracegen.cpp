@@ -1,0 +1,57 @@
+#include "ssr/workload/tracegen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "ssr/common/check.h"
+
+namespace ssr {
+
+std::vector<JobSpec> make_background_jobs(const TraceGenConfig& config) {
+  SSR_CHECK_MSG(config.num_jobs > 0, "need at least one job");
+  SSR_CHECK_MSG(config.window > 0.0, "window must be positive");
+  SSR_CHECK_MSG(config.scale_down > 0.0, "scale down must be positive");
+  SSR_CHECK_MSG(config.runtime_multiplier > 0.0,
+                "runtime multiplier must be positive");
+
+  Rng rng(config.seed);
+  const double mean_task = config.mean_task_seconds / config.scale_down *
+                           config.runtime_multiplier;
+  const DurationDistPtr task_dist =
+      pareto_duration_with_mean(config.pareto_alpha, mean_task);
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(config.num_jobs);
+
+  // Poisson arrivals over the window: exponential gaps with mean
+  // window / num_jobs, clamped to the window.
+  const double gap_mean =
+      config.window / static_cast<double>(config.num_jobs);
+  SimTime arrival = 0.0;
+
+  for (std::uint32_t i = 0; i < config.num_jobs; ++i) {
+    arrival += rng.exponential_mean(gap_mean);
+    const SimTime submit = std::min<SimTime>(arrival, config.window);
+
+    const bool large = rng.bernoulli(config.large_job_fraction);
+    const std::uint32_t max_tasks =
+        large ? config.large_job_max_tasks : config.small_job_max_tasks;
+    const auto tasks = static_cast<std::uint32_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(max_tasks)));
+
+    JobBuilder b("bg-" + std::to_string(i));
+    b.priority(config.priority).submit_at(submit).parallelism_known(false);
+    b.stage(tasks, task_dist);
+    if (rng.bernoulli(config.two_phase_fraction)) {
+      // A reduce-like downstream phase, typically narrower.
+      const std::uint32_t reduce_tasks = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(
+                 rng.uniform_int(1, std::max<std::int64_t>(1, tasks / 2))));
+      b.stage(reduce_tasks, task_dist);
+    }
+    jobs.push_back(b.build());
+  }
+  return jobs;
+}
+
+}  // namespace ssr

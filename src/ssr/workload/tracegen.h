@@ -1,0 +1,41 @@
+// Google-cluster-trace-like background workload synthesizer.
+//
+// The paper's background workloads are "100 synthesized jobs randomly
+// sampled from the Google cluster traces in a one-hour window" (8000 jobs in
+// the large-scale simulation), with task runtimes scaled down 10x for the
+// small cluster.  The raw trace is not available offline, so we synthesize
+// from the published characteristics the paper relies on:
+//   * arrivals spread over the window (Poisson process);
+//   * most jobs are small (the smallest 90% of jobs consume ~6% of
+//     resources — Sec. III-C), a few are large;
+//   * task durations are Pareto heavy-tailed with alpha ~ 1.6 (Sec. IV-C);
+//   * background jobs are batch: single phase or a short two-phase chain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ssr/common/rng.h"
+#include "ssr/dag/job.h"
+
+namespace ssr {
+
+struct TraceGenConfig {
+  std::uint32_t num_jobs = 100;
+  SimDuration window = 3600.0;  ///< arrival window (the paper's one hour)
+  double pareto_alpha = 1.6;    ///< task-duration tail index
+  double mean_task_seconds = 300.0;  ///< before scale_down (trace minutes)
+  double scale_down = 10.0;     ///< the paper scales trace runtimes by 10x
+  double runtime_multiplier = 1.0;  ///< "prolonged background jobs" knob (2x)
+  double two_phase_fraction = 0.3;  ///< jobs with a reduce-like second phase
+  std::uint32_t small_job_max_tasks = 10;   ///< parallelism of small jobs
+  std::uint32_t large_job_max_tasks = 500;  ///< parallelism cap of large jobs
+  double large_job_fraction = 0.3;  ///< the resource-hungry minority
+  int priority = 0;
+  std::uint64_t seed = 12345;
+};
+
+/// Synthesize the background job mix.  Deterministic in `config.seed`.
+std::vector<JobSpec> make_background_jobs(const TraceGenConfig& config);
+
+}  // namespace ssr

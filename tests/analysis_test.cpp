@@ -1,0 +1,192 @@
+// Tests for the analytical models: Pareto closed forms (Eqs. 1-4), the
+// deadline inversion, the Hill estimator, and the numerical straggler model.
+// Parameterized sweeps check the monotonicity properties the paper's
+// trade-off discussion relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ssr/analysis/pareto.h"
+#include "ssr/analysis/straggler_model.h"
+#include "ssr/common/check.h"
+#include "ssr/common/rng.h"
+#include "ssr/common/stats.h"
+
+namespace ssr {
+namespace {
+
+TEST(Pareto, CdfMatchesDefinition) {
+  const ParetoModel m{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(m.cdf(2.9), 0.0);
+  EXPECT_DOUBLE_EQ(m.cdf(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.cdf(6.0), 1.0 - std::pow(0.5, 2.0));
+  EXPECT_NEAR(m.cdf(1e9), 1.0, 1e-9);
+}
+
+TEST(Pareto, QuantileInvertsCdf) {
+  const ParetoModel m{1.6, 5.0};
+  for (double u : {0.0, 0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(m.cdf(m.quantile(u)), u, 1e-12);
+  }
+  EXPECT_THROW(m.quantile(1.0), CheckError);
+}
+
+TEST(Pareto, PdfIntegratesToCdf) {
+  const ParetoModel m{1.8, 1.0};
+  // Trapezoidal integration of the pdf from t_m to 10 ~ cdf(10).
+  double acc = 0.0;
+  const double dt = 1e-4;
+  for (double t = 1.0; t < 10.0; t += dt) {
+    acc += 0.5 * (m.pdf(t) + m.pdf(t + dt)) * dt;
+  }
+  EXPECT_NEAR(acc, m.cdf(10.0), 1e-4);
+}
+
+TEST(Pareto, MeanFormula) {
+  const ParetoModel m{1.6, 5.0};
+  EXPECT_DOUBLE_EQ(m.mean(), 1.6 * 5.0 / 0.6);
+}
+
+TEST(Eq2, IsolationProbabilityBoundsAndMonotonicity) {
+  const ParetoModel m{1.6, 1.0};
+  EXPECT_DOUBLE_EQ(isolation_probability(m, 1.0, 10), 0.0);
+  double prev = 0.0;
+  for (double d = 2.0; d < 100.0; d *= 2.0) {
+    const double p = isolation_probability(m, d, 10);
+    EXPECT_GT(p, prev);  // longer deadline, stronger isolation
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  // More tasks make the same deadline weaker.
+  EXPECT_GT(isolation_probability(m, 10.0, 5),
+            isolation_probability(m, 10.0, 50));
+}
+
+TEST(Eq3, UtilizationBoundDecreasesWithDeadline) {
+  const ParetoModel m{1.6, 1.0};
+  EXPECT_DOUBLE_EQ(utilization_lower_bound(m, 1.0), 1.0);
+  double prev = 1.0;
+  for (double d = 2.0; d < 1000.0; d *= 2.0) {
+    const double u = utilization_lower_bound(m, d);
+    EXPECT_LT(u, prev);
+    EXPECT_GT(u, 0.0);
+    prev = u;
+  }
+}
+
+TEST(Eq4, TradeoffMonotonicallyDecreasingInP) {
+  for (double alpha : {1.2, 1.6, 2.0, 3.0}) {
+    for (std::size_t n : {20u, 200u}) {
+      double prev = 2.0;
+      for (double p = 0.0; p <= 1.0; p += 0.05) {
+        const double u = utilization_for_isolation(alpha, p, n);
+        EXPECT_LE(u, prev + 1e-12)
+            << "alpha=" << alpha << " N=" << n << " P=" << p;
+        prev = u;
+      }
+      // Extremes: P=0 costs nothing; P=1 costs everything.
+      EXPECT_DOUBLE_EQ(utilization_for_isolation(alpha, 0.0, n), 1.0);
+      EXPECT_DOUBLE_EQ(utilization_for_isolation(alpha, 1.0, n), 0.0);
+    }
+  }
+}
+
+TEST(Eq4, HeavierTailMakesTradeoffSharper) {
+  // At the same P and N, a heavier tail (smaller alpha) yields lower
+  // utilization — Fig. 8's visual message.
+  for (double p : {0.2, 0.5, 0.8}) {
+    EXPECT_LT(utilization_for_isolation(1.2, p, 20),
+              utilization_for_isolation(2.0, p, 20));
+    EXPECT_LT(utilization_for_isolation(2.0, p, 20),
+              utilization_for_isolation(3.0, p, 20));
+  }
+}
+
+TEST(Deadline, InversionRoundTripsThroughEq2) {
+  const ParetoModel m{1.6, 4.0};
+  for (double p : {0.1, 0.4, 0.7, 0.95}) {
+    for (std::size_t n : {2u, 20u, 200u}) {
+      const double d = deadline_for_isolation(m, p, n);
+      EXPECT_NEAR(isolation_probability(m, d, n), p, 1e-9);
+    }
+  }
+}
+
+TEST(Deadline, StrictIsolationIsInfinite) {
+  const ParetoModel m{1.6, 4.0};
+  EXPECT_EQ(deadline_for_isolation(m, 1.0, 20), kTimeInfinity);
+  // P -> 0 collapses the deadline to t_m.
+  EXPECT_NEAR(deadline_for_isolation(m, 0.0, 20), 4.0, 1e-9);
+}
+
+TEST(Deadline, MonotoneInPAndN) {
+  const ParetoModel m{1.6, 4.0};
+  EXPECT_LT(deadline_for_isolation(m, 0.3, 20),
+            deadline_for_isolation(m, 0.9, 20));
+  EXPECT_LT(deadline_for_isolation(m, 0.5, 20),
+            deadline_for_isolation(m, 0.5, 200));
+}
+
+TEST(Hill, RecoversTailIndexFromParetoSamples) {
+  Rng rng(11);
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = rng.pareto(1.6, 2.0);
+  const double est = hill_tail_index(samples, 2000);
+  EXPECT_NEAR(est, 1.6, 0.15);
+}
+
+TEST(Hill, ValidatesArguments) {
+  EXPECT_THROW(hill_tail_index({1.0, 2.0}, 2), CheckError);
+  EXPECT_THROW(hill_tail_index({1.0, 2.0, 3.0}, 0), CheckError);
+  EXPECT_THROW(hill_tail_index({1.0, -2.0, 3.0}, 1), CheckError);
+}
+
+TEST(StragglerModel, MitigationNeverSlowsThePhaseDown) {
+  Rng rng(5);
+  const ParetoModel m{1.6, 1.0};
+  for (int i = 0; i < 2000; ++i) {
+    const auto s = sample_phase_completion(m, 20, rng);
+    EXPECT_LE(s.with_mitigation, s.without_mitigation + 1e-12);
+    EXPECT_GT(s.with_mitigation, 0.0);
+  }
+}
+
+struct StragglerCase {
+  double alpha;
+  std::size_t n;
+  double min_reduction;  // loose lower bound on the Fig. 10 value
+  double max_reduction;
+};
+
+class StragglerSweep : public ::testing::TestWithParam<StragglerCase> {};
+
+TEST_P(StragglerSweep, ReductionFallsInTheExpectedBand) {
+  const auto& c = GetParam();
+  Rng rng(7);
+  const double red =
+      mean_completion_reduction(ParetoModel{c.alpha, 1.0}, c.n, 3000, rng);
+  EXPECT_GE(red, c.min_reduction) << "alpha=" << c.alpha << " N=" << c.n;
+  EXPECT_LE(red, c.max_reduction) << "alpha=" << c.alpha << " N=" << c.n;
+}
+
+// The paper reports > 50% reduction at alpha = 1.6 and says the speedup
+// grows with heavier tails and higher parallelism (Fig. 10).
+INSTANTIATE_TEST_SUITE_P(
+    Fig10Bands, StragglerSweep,
+    ::testing::Values(StragglerCase{1.2, 200, 0.70, 1.00},
+                      StragglerCase{1.6, 200, 0.50, 0.95},
+                      StragglerCase{1.6, 20, 0.35, 0.90},
+                      StragglerCase{2.5, 20, 0.10, 0.70},
+                      StragglerCase{4.0, 20, 0.02, 0.50}));
+
+TEST(StragglerModel, HeavierTailGainsMore) {
+  Rng rng(9);
+  const double heavy =
+      mean_completion_reduction(ParetoModel{1.2, 1.0}, 100, 4000, rng);
+  const double light =
+      mean_completion_reduction(ParetoModel{3.0, 1.0}, 100, 4000, rng);
+  EXPECT_GT(heavy, light);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,168 @@
+// Unit tests for ssr/common: rng, distributions, stats, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ssr/common/check.h"
+#include "ssr/common/distributions.h"
+#include "ssr/common/rng.h"
+#include "ssr/common/stats.h"
+#include "ssr/common/table.h"
+
+namespace ssr {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentOfParentDraws) {
+  Rng parent1(7);
+  Rng parent2(7);
+  // Consume from parent1 before forking; fork seeds must not depend on how
+  // many draws the parent made.
+  (void)parent1.uniform(0, 1);
+  (void)parent1.uniform(0, 1);
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(child1.uniform(0, 1), child2.uniform(0, 1));
+  }
+}
+
+TEST(Rng, ParetoSamplesRespectScaleMinimum) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(1.6, 2.0), 2.0);
+  }
+}
+
+TEST(Rng, ParetoSampleMeanMatchesAnalytic) {
+  Rng rng(5);
+  const double alpha = 2.5, scale = 1.0;
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.pareto(alpha, scale));
+  const double expected = alpha * scale / (alpha - 1.0);
+  EXPECT_NEAR(stats.mean(), expected, 0.03 * expected);
+}
+
+TEST(Distributions, FixedAlwaysSame) {
+  Rng rng(1);
+  auto d = fixed_duration(3.5);
+  EXPECT_DOUBLE_EQ(d->sample(rng), 3.5);
+  EXPECT_DOUBLE_EQ(d->mean(), 3.5);
+}
+
+TEST(Distributions, UniformWithinBounds) {
+  Rng rng(1);
+  auto d = uniform_duration(2.0, 4.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d->sample(rng);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 4.0);
+  }
+  EXPECT_DOUBLE_EQ(d->mean(), 3.0);
+}
+
+TEST(Distributions, ParetoWithMeanHitsRequestedMean) {
+  Rng rng(9);
+  auto d = pareto_duration_with_mean(1.6, 10.0);
+  EXPECT_DOUBLE_EQ(d->mean(), 10.0);
+  OnlineStats stats;
+  for (int i = 0; i < 500000; ++i) stats.add(d->sample(rng));
+  // alpha = 1.6 has infinite variance; allow a loose Monte-Carlo band.
+  EXPECT_NEAR(stats.mean(), 10.0, 1.5);
+}
+
+TEST(Distributions, LognormalMeanAnalytic) {
+  Rng rng(4);
+  auto d = lognormal_duration(5.0, 0.4);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(d->sample(rng));
+  EXPECT_NEAR(stats.mean(), d->mean(), 0.05 * d->mean());
+  EXPECT_NEAR(d->mean(), 5.0 * std::exp(0.5 * 0.4 * 0.4), 1e-9);
+}
+
+TEST(Distributions, EmpiricalSamplesFromList) {
+  Rng rng(2);
+  auto d = empirical_duration({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d->mean(), 2.0);
+  for (int i = 0; i < 100; ++i) {
+    const double x = d->sample(rng);
+    EXPECT_TRUE(x == 1.0 || x == 2.0 || x == 3.0);
+  }
+}
+
+TEST(Distributions, ScaledMultiplies) {
+  Rng rng(2);
+  auto d = scaled_duration(fixed_duration(4.0), 2.5);
+  EXPECT_DOUBLE_EQ(d->sample(rng), 10.0);
+  EXPECT_DOUBLE_EQ(d->mean(), 10.0);
+}
+
+TEST(Distributions, RejectsInvalidParameters) {
+  EXPECT_THROW(fixed_duration(0.0), CheckError);
+  EXPECT_THROW(uniform_duration(-1.0, 2.0), CheckError);
+  EXPECT_THROW(pareto_duration(0.9, 1.0), CheckError);
+  EXPECT_THROW(pareto_duration(1.6, 0.0), CheckError);
+  EXPECT_THROW(empirical_duration({}), CheckError);
+  EXPECT_THROW(scaled_duration(fixed_duration(1.0), 0.0), CheckError);
+}
+
+TEST(Stats, WelfordMatchesDirectComputation) {
+  OnlineStats s;
+  const std::vector<double> xs = {1, 2, 3, 4, 100};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 22.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  // Sample variance: sum((x-22)^2)/4
+  double acc = 0;
+  for (double x : xs) acc += (x - 22.0) * (x - 22.0);
+  EXPECT_NEAR(s.variance(), acc / 4.0, 1e-9);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+  EXPECT_THROW(percentile({}, 0.5), CheckError);
+  EXPECT_THROW(percentile(xs, 1.5), CheckError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", TablePrinter::num(1.2345, 2)});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one-cell"}), CheckError);
+}
+
+TEST(Check, MacrosThrowWithContext) {
+  try {
+    SSR_CHECK_MSG(1 == 2, "math broke");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,121 @@
+// Unit tests for job specs, the DAG validator and the builder.
+#include <gtest/gtest.h>
+
+#include "ssr/common/check.h"
+#include "ssr/dag/job.h"
+
+namespace ssr {
+namespace {
+
+JobSpec chain3() {
+  return JobBuilder("chain")
+      .priority(5)
+      .stage(4, fixed_duration(1.0))
+      .stage(4, fixed_duration(1.0))
+      .stage(2, fixed_duration(1.0))
+      .build();
+}
+
+TEST(JobBuilder, BuildsChainWithImplicitParents) {
+  const JobSpec spec = chain3();
+  ASSERT_EQ(spec.stages.size(), 3u);
+  EXPECT_TRUE(spec.stages[0].parents.empty());
+  EXPECT_EQ(spec.stages[1].parents, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(spec.stages[2].parents, (std::vector<std::uint32_t>{1}));
+}
+
+TEST(JobGraph, DerivesChildrenRootsAndFinals) {
+  JobGraph g(JobId{1}, chain3());
+  EXPECT_EQ(g.num_stages(), 3u);
+  EXPECT_EQ(g.roots(), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(g.children(0), (std::vector<std::uint32_t>{1}));
+  EXPECT_FALSE(g.is_final_stage(0));
+  EXPECT_TRUE(g.is_final_stage(2));
+  EXPECT_EQ(g.total_tasks(), 10u);
+}
+
+TEST(JobGraph, DownstreamParallelismFollowsHints) {
+  JobGraph g(JobId{1}, chain3());
+  EXPECT_EQ(g.downstream_parallelism(0), 4u);
+  EXPECT_EQ(g.downstream_parallelism(1), 2u);  // shrinking
+  EXPECT_EQ(g.downstream_parallelism(2), std::nullopt);  // final stage
+}
+
+TEST(JobGraph, Case1HidesParallelism) {
+  JobSpec spec = chain3();
+  spec.parallelism_known = false;
+  JobGraph g(JobId{1}, std::move(spec));
+  EXPECT_EQ(g.downstream_parallelism(0), std::nullopt);
+}
+
+TEST(JobGraph, MultiParentJoinSumsChildWidths) {
+  // Two scans joined: stage 2 depends on stages 0 and 1.
+  JobSpec spec = JobBuilder("join")
+                     .stage_with_parents(8, fixed_duration(1.0), {})
+                     .stage_with_parents(4, fixed_duration(1.0), {})
+                     .stage_with_parents(6, fixed_duration(1.0), {0, 1})
+                     .build();
+  JobGraph g(JobId{2}, std::move(spec));
+  EXPECT_EQ(g.roots(), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(g.downstream_parallelism(0), 6u);
+  EXPECT_EQ(g.downstream_parallelism(1), 6u);
+  EXPECT_EQ(g.first_child(0), 2u);
+}
+
+TEST(JobGraph, RejectsMalformedSpecs) {
+  // No stages.
+  EXPECT_THROW(JobGraph(JobId{0}, JobSpec{}), CheckError);
+
+  // Zero parallelism.
+  JobSpec zero = JobBuilder("z").stage(0, fixed_duration(1.0)).build();
+  EXPECT_THROW(JobGraph(JobId{0}, std::move(zero)), CheckError);
+
+  // Missing duration model.
+  JobSpec no_dist;
+  no_dist.name = "n";
+  StageSpec nd;
+  nd.num_tasks = 1;
+  no_dist.stages.push_back(nd);
+  EXPECT_THROW(JobGraph(JobId{0}, std::move(no_dist)), CheckError);
+
+  // Forward edge (parent index >= own index) — would be a cycle or worse.
+  JobSpec fwd;
+  fwd.name = "f";
+  StageSpec s;
+  s.num_tasks = 1;
+  s.duration = fixed_duration(1.0);
+  s.parents = {0};  // self-reference at index 0
+  fwd.stages.push_back(s);
+  EXPECT_THROW(JobGraph(JobId{0}, std::move(fwd)), CheckError);
+}
+
+TEST(JobGraph, RejectsMismatchedExplicitDurations) {
+  JobSpec spec = JobBuilder("e")
+                     .stage(3, fixed_duration(1.0))
+                     .explicit_durations({1.0, 2.0})  // wrong size
+                     .build();
+  EXPECT_THROW(JobGraph(JobId{0}, std::move(spec)), CheckError);
+
+  JobSpec neg = JobBuilder("n")
+                    .stage(2, fixed_duration(1.0))
+                    .explicit_durations({1.0, -2.0})
+                    .build();
+  EXPECT_THROW(JobGraph(JobId{0}, std::move(neg)), CheckError);
+}
+
+TEST(JobBuilder, SettersPropagate) {
+  const JobSpec spec = JobBuilder("x")
+                           .priority(9)
+                           .submit_at(12.5)
+                           .parallelism_known(false)
+                           .fair_weight(2.0)
+                           .stage(1, fixed_duration(1.0))
+                           .build();
+  EXPECT_EQ(spec.priority, 9);
+  EXPECT_DOUBLE_EQ(spec.submit_time, 12.5);
+  EXPECT_FALSE(spec.parallelism_known);
+  EXPECT_DOUBLE_EQ(spec.fair_weight, 2.0);
+}
+
+}  // namespace
+}  // namespace ssr

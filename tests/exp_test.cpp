@@ -1,0 +1,69 @@
+// Tests for the experiment harness (src/ssr/exp).
+#include <gtest/gtest.h>
+
+#include "ssr/common/check.h"
+#include "ssr/exp/scenario.h"
+
+namespace ssr {
+namespace {
+
+TEST(RunResult, JctOfThrowsForUnknownName) {
+  RunResult r;
+  JobResult a;
+  a.name = "alpha";
+  a.jct = 7.0;
+  r.jobs.push_back(a);
+  EXPECT_DOUBLE_EQ(r.jct_of("alpha"), 7.0);
+  EXPECT_THROW(r.jct_of("beta"), CheckError);
+}
+
+TEST(RunResult, MeanJctWithPrefix) {
+  RunResult r;
+  for (double jct : {2.0, 4.0}) {
+    JobResult j;
+    j.name = "bg-x";
+    j.jct = jct;
+    r.jobs.push_back(j);
+  }
+  JobResult other;
+  other.name = "fg";
+  other.jct = 100.0;
+  r.jobs.push_back(other);
+  EXPECT_DOUBLE_EQ(r.mean_jct_with_prefix("bg-"), 3.0);
+  EXPECT_DOUBLE_EQ(r.mean_jct_with_prefix("zzz"), 0.0);
+}
+
+TEST(Scenario, RunScenarioPopulatesAggregates) {
+  const ClusterSpec cluster{.nodes = 1, .slots_per_node = 2};
+  std::vector<JobSpec> jobs;
+  jobs.push_back(JobBuilder("a").stage(2, fixed_duration(10.0)).build());
+  RunOptions o;
+  const RunResult r = run_scenario(cluster, std::move(jobs), o);
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.jobs[0].jct, 10.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(r.busy_time, 20.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+  EXPECT_EQ(r.task_totals.tasks_finished, 2u);
+}
+
+TEST(Scenario, SlowdownHelper) {
+  EXPECT_DOUBLE_EQ(slowdown(30.0, 10.0), 3.0);
+}
+
+TEST(BenchArgs, DefaultsAndScaleSetFlag) {
+  const char* argv[] = {"bin"};
+  const BenchArgs args = BenchArgs::parse(1, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.scale, 1.0);
+  EXPECT_FALSE(args.scale_set);
+  EXPECT_EQ(args.seed, 1u);
+
+  const char* argv2[] = {"bin", "--scale", "2"};
+  const BenchArgs args2 = BenchArgs::parse(3, const_cast<char**>(argv2));
+  EXPECT_TRUE(args2.scale_set);
+  const char* bad[] = {"bin", "--scale", "0.5"};
+  EXPECT_THROW(BenchArgs::parse(3, const_cast<char**>(bad)), CheckError);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,78 @@
+// Tests for the metrics collectors (running-task series, task stats, JCT
+// records) against engine-driven scenarios.
+#include <gtest/gtest.h>
+
+#include "ssr/common/check.h"
+#include "ssr/metrics/collectors.h"
+#include "ssr/sched/engine.h"
+
+namespace ssr {
+namespace {
+
+TEST(JctCollector, RecordsCompletionsInFinishOrder) {
+  Engine engine(SchedConfig{}, 1, 2, 1);
+  JctCollector jcts;
+  engine.add_observer(&jcts);
+  engine.submit(JobBuilder("slow").priority(5)
+                    .stage(1, fixed_duration(20.0)).build());
+  engine.submit(JobBuilder("fast").priority(5)
+                    .submit_at(1.0).stage(1, fixed_duration(5.0)).build());
+  engine.run();
+
+  const auto& recs = jcts.completions();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].name, "fast");  // finishes at 6
+  EXPECT_EQ(recs[1].name, "slow");  // finishes at 20
+  EXPECT_DOUBLE_EQ(recs[0].jct(), 5.0);
+  EXPECT_DOUBLE_EQ(recs[1].jct(), 20.0);
+  EXPECT_EQ(recs[0].priority, 5);
+}
+
+TEST(JctCollector, NamedAndPriorityQueries) {
+  Engine engine(SchedConfig{}, 2, 2, 1);
+  JctCollector jcts;
+  engine.add_observer(&jcts);
+  engine.submit(JobBuilder("a").priority(10)
+                    .stage(1, fixed_duration(4.0)).build());
+  engine.submit(JobBuilder("a").priority(10)
+                    .stage(1, fixed_duration(6.0)).build());
+  engine.submit(JobBuilder("b").priority(0)
+                    .stage(1, fixed_duration(8.0)).build());
+  engine.run();
+
+  const auto a = jcts.jcts_named("a");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(jcts.mean_jct_with_priority_at_least(5), 5.0);
+  EXPECT_DOUBLE_EQ(jcts.mean_jct_with_priority_below(5), 8.0);
+  EXPECT_DOUBLE_EQ(jcts.mean_jct_with_priority_at_least(100), 0.0);
+}
+
+TEST(RunningTasksSeries, UnknownJobYieldsEmptySeries) {
+  RunningTasksSeries series;
+  EXPECT_TRUE(series.changes(JobId{99}).empty());
+  const auto sampled = series.sampled(JobId{99}, 1.0, 5.0);
+  ASSERT_EQ(sampled.size(), 6u);
+  for (const auto& [t, v] : sampled) EXPECT_EQ(v, 0);
+}
+
+TEST(RunningTasksSeries, RejectsNonPositiveInterval) {
+  RunningTasksSeries series;
+  EXPECT_THROW(series.sampled(JobId{0}, 0.0, 5.0), CheckError);
+}
+
+TEST(TaskStats, TotalsAggregateAcrossJobs) {
+  Engine engine(SchedConfig{}, 2, 2, 1);
+  TaskStatsCollector stats;
+  engine.add_observer(&stats);
+  engine.submit(JobBuilder("x").stage(3, fixed_duration(2.0)).build());
+  engine.submit(JobBuilder("y").stage(2, fixed_duration(2.0)).build());
+  engine.run();
+  const JobTaskStats t = stats.totals();
+  EXPECT_EQ(t.tasks_started, 5u);
+  EXPECT_EQ(t.tasks_finished, 5u);
+  EXPECT_EQ(t.copies_started, 0u);
+  EXPECT_EQ(stats.stats(JobId{42}).tasks_started, 0u);  // unknown job
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,136 @@
+// Tests for heterogeneous slot resources (Sec. III-C): fit checks in the
+// scheduler and the SSR core's right-size release + pre-reservation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ssr/common/check.h"
+#include "ssr/core/reservation_manager.h"
+#include "ssr/sched/engine.h"
+
+namespace ssr {
+namespace {
+
+// Cluster layout: node 0 has two small slots {1,1}; node 1 has two big
+// slots {2,4}.
+std::vector<std::vector<Resources>> mixed_cluster() {
+  return {{Resources{1.0, 1.0}, Resources{1.0, 1.0}},
+          {Resources{2.0, 4.0}, Resources{2.0, 4.0}}};
+}
+
+TEST(Resources, FitsInIsComponentwise) {
+  EXPECT_TRUE((Resources{1, 1}.fits_in(Resources{1, 1})));
+  EXPECT_TRUE((Resources{1, 2}.fits_in(Resources{2, 4})));
+  EXPECT_FALSE((Resources{2, 1}.fits_in(Resources{1, 4})));
+  EXPECT_FALSE((Resources{1, 5}.fits_in(Resources{2, 4})));
+}
+
+TEST(Resources, BigTasksOnlyRunOnBigSlots) {
+  Engine engine(SchedConfig{}, mixed_cluster(), 1);
+  const JobId big = engine.submit(JobBuilder("big")
+                                      .stage(4, fixed_duration(10.0))
+                                      .demand({2.0, 4.0})
+                                      .build());
+  engine.run();
+  // 4 big tasks on the 2 big slots: two rounds -> 20 s.
+  EXPECT_DOUBLE_EQ(engine.jct(big), 20.0);
+  // The small slots never ran anything.
+  engine.cluster().settle(engine.sim().now());
+  EXPECT_DOUBLE_EQ(engine.cluster().slot(SlotId{0}).busy_time(), 0.0);
+  EXPECT_DOUBLE_EQ(engine.cluster().slot(SlotId{1}).busy_time(), 0.0);
+}
+
+TEST(Resources, ImpossibleDemandIsRejectedAtSubmit) {
+  Engine engine(SchedConfig{}, mixed_cluster(), 1);
+  EXPECT_THROW(engine.submit(JobBuilder("huge")
+                                 .stage(1, fixed_duration(1.0))
+                                 .demand({8.0, 8.0})
+                                 .build()),
+               CheckError);
+}
+
+TEST(Resources, SsrReleasesUnfitSlotAndPreReservesRightSize) {
+  // Phase 1 runs on the small slots; phase 2 demands big slots.  SSR must
+  // NOT hold the small slots across the barrier; instead it pre-reserves
+  // the big ones (freed by the background job) so phase 2 starts on time.
+  SchedConfig sched;
+  sched.locality_wait = 1.0;
+  Engine engine(sched, mixed_cluster(), 1);
+  engine.set_reservation_hook(
+      std::make_unique<ReservationManager>(SsrConfig{}));
+  const JobId fg = engine.submit(JobBuilder("fg")
+                                     .priority(10)
+                                     .stage(2, fixed_duration(1.0))
+                                     .explicit_durations({5.0, 10.0})
+                                     .demand({1.0, 1.0})
+                                     .stage(2, fixed_duration(6.0))
+                                     .demand({2.0, 4.0})
+                                     .build());
+  // Background holds the big slots until t=8, then hungers for anything.
+  const JobId bg = engine.submit(JobBuilder("bg")
+                                     .priority(0)
+                                     .stage(2, fixed_duration(8.0))
+                                     .demand({1.0, 1.0})
+                                     .build());
+  engine.run();
+  // t=5: fg task 0 finishes on a small slot; downstream demand {2,4} does
+  // not fit -> the small slot is released (bg has no pending work, so it
+  // idles).  t=8: bg's tasks finish on the big slots -> both pre-reserved
+  // for fg.  t=10: barrier clears; phase-2 tasks are non-local on the big
+  // slots (their parents ran on the small ones) and wait out the 1 s
+  // locality wait before accepting: start 11, runtime 6 * 5 = 30 -> 41.
+  EXPECT_DOUBLE_EQ(engine.jct(fg), 41.0);
+  EXPECT_TRUE(engine.job_finished(bg));
+  engine.cluster().settle(engine.sim().now());
+  // The small slots were NOT held across the barrier: fg's reserved-idle
+  // time is exactly the big slots' pre-reservation window 8..11 (barrier at
+  // 10 plus the 1 s locality wait), 2 slots x 3 s.
+  EXPECT_DOUBLE_EQ(engine.cluster().reserved_idle_time_of(fg), 6.0);
+}
+
+TEST(Resources, WithoutSsrBigPhaseWaitsForBigSlots) {
+  // Same scenario, no SSR: bg re-grabs a big slot at t=8 (it has a second
+  // wave via a wider stage), delaying fg's phase 2.
+  SchedConfig sched;
+  sched.locality_wait = 1.0;
+  Engine engine(sched, mixed_cluster(), 1);
+  const JobId fg = engine.submit(JobBuilder("fg")
+                                     .priority(10)
+                                     .stage(2, fixed_duration(1.0))
+                                     .explicit_durations({5.0, 10.0})
+                                     .demand({1.0, 1.0})
+                                     .stage(2, fixed_duration(6.0))
+                                     .demand({2.0, 4.0})
+                                     .build());
+  engine.submit(JobBuilder("bg")
+                    .priority(0)
+                    .stage(4, fixed_duration(8.0))
+                    .demand({1.0, 1.0})
+                    .build());
+  engine.run();
+  // bg occupies big slots 0..8 and (with its 3rd/4th tasks pending at t=0
+  // having taken the small...
+  // Layout at t=0: fg takes small slots? fg and bg race: fg submitted
+  // first, takes slots 0,1 (small); bg takes 2,3 (big) and queues 2 tasks.
+  // t=5: fg frees a small slot -> bg runs there 5..13.  t=8: big slots
+  // free -> bg's last task takes one 8..16.  fg's phase 2 (t=10) needs big
+  // slots: one is free at 10 (big slot released at 8 idles? no — bg's
+  // pending task took it at 8; the other big slot freed at 8 goes idle).
+  // Exact numbers depend on offer order; assert only that fg is slower
+  // than the SSR run's 41 s.
+  EXPECT_GT(engine.jct(fg), 41.0);
+}
+
+TEST(Resources, HeterogeneousClusterValidation) {
+  using Layout = std::vector<std::vector<Resources>>;
+  const Layout empty;
+  Layout zero_capacity;
+  zero_capacity.push_back({Resources{0.0, 1.0}});
+  auto make_empty = [&] { Cluster c{empty}; };
+  auto make_zero = [&] { Cluster c{zero_capacity}; };
+  EXPECT_THROW(make_empty(), CheckError);
+  EXPECT_THROW(make_zero(), CheckError);
+}
+
+}  // namespace
+}  // namespace ssr

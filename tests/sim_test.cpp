@@ -1,0 +1,194 @@
+// Unit tests for the discrete-event engine and the cluster slot state
+// machine, including failure injection on illegal transitions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ssr/common/check.h"
+#include "ssr/sim/cluster.h"
+#include "ssr/sim/simulator.h"
+
+namespace ssr {
+namespace {
+
+TaskId task_of(std::uint32_t job, std::uint32_t stage, std::uint32_t index,
+               std::uint32_t attempt = 0) {
+  return TaskId{StageId{JobId{job}, stage}, index, attempt};
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.processed_events(), 3u);
+}
+
+TEST(Simulator, SameTimeEventsFireInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedSchedulingFromCallbacks) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_after(2.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), CheckError);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), CheckError);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Cluster, LayoutAndInitialState) {
+  Cluster c(3, 2);
+  EXPECT_EQ(c.num_nodes(), 3u);
+  EXPECT_EQ(c.num_slots(), 6u);
+  EXPECT_EQ(c.idle_slots().size(), 6u);
+  EXPECT_TRUE(c.reserved_idle_slots().empty());
+  EXPECT_EQ(c.slot(SlotId{0}).node(), (NodeId{0}));
+  EXPECT_EQ(c.slot(SlotId{5}).node(), (NodeId{2}));
+}
+
+TEST(Cluster, TaskLifecycleRecordsResidentOutput) {
+  Cluster c(1, 2);
+  const SlotId s{0};
+  const TaskId t = task_of(0, 0, 0);
+  c.start_task(s, t, 1.0);
+  EXPECT_EQ(c.slot(s).state(), SlotState::Busy);
+  EXPECT_EQ(c.idle_slots().size(), 1u);
+  EXPECT_EQ(*c.slot(s).running_task(), t);
+  c.finish_task(s, 4.0);
+  EXPECT_EQ(c.slot(s).state(), SlotState::Idle);
+  EXPECT_TRUE(c.slot(s).has_output(t.stage));
+  EXPECT_DOUBLE_EQ(c.slot(s).busy_time(), 3.0);
+}
+
+TEST(Cluster, KillDoesNotRecordOutput) {
+  Cluster c(1, 1);
+  const SlotId s{0};
+  const TaskId t = task_of(0, 0, 0);
+  c.start_task(s, t, 0.0);
+  c.kill_task(s, 2.0);
+  EXPECT_EQ(c.slot(s).state(), SlotState::Idle);
+  EXPECT_FALSE(c.slot(s).has_output(t.stage));
+  EXPECT_DOUBLE_EQ(c.slot(s).busy_time(), 2.0);
+}
+
+TEST(Cluster, ReservationLifecycleAndAccounting) {
+  Cluster c(1, 2);
+  const SlotId s{0};
+  Reservation r;
+  r.job = JobId{7};
+  r.priority = 3;
+  r.deadline = 100.0;
+  c.reserve(s, r, 10.0);
+  EXPECT_EQ(c.slot(s).state(), SlotState::ReservedIdle);
+  EXPECT_EQ(c.reserved_idle_slots().size(), 1u);
+  EXPECT_EQ(c.slot(s).reservation()->job, (JobId{7}));
+  c.release_reservation(s, 25.0);
+  EXPECT_EQ(c.slot(s).state(), SlotState::Idle);
+  EXPECT_DOUBLE_EQ(c.slot(s).reserved_idle_time(), 15.0);
+  EXPECT_DOUBLE_EQ(c.reserved_idle_time_of(JobId{7}), 15.0);
+  EXPECT_DOUBLE_EQ(c.reserved_idle_time_of(JobId{8}), 0.0);
+}
+
+TEST(Cluster, ReservationConsumedByTaskStart) {
+  Cluster c(1, 1);
+  const SlotId s{0};
+  Reservation r;
+  r.job = JobId{1};
+  c.reserve(s, r, 0.0);
+  c.start_task(s, task_of(1, 1, 0), 5.0);
+  EXPECT_EQ(c.slot(s).state(), SlotState::Busy);
+  EXPECT_FALSE(c.slot(s).reservation().has_value());
+  EXPECT_DOUBLE_EQ(c.slot(s).reserved_idle_time(), 5.0);
+}
+
+TEST(Cluster, ReleaseIfCurrentValidatesToken) {
+  Cluster c(1, 1);
+  const SlotId s{0};
+  Reservation r;
+  r.job = JobId{1};
+  const std::uint64_t token = c.reserve(s, r, 0.0);
+  // Consume, then re-reserve: the old token must be stale.
+  c.start_task(s, task_of(1, 1, 0), 1.0);
+  c.finish_task(s, 2.0);
+  const std::uint64_t token2 = c.reserve(s, r, 2.0);
+  EXPECT_FALSE(c.release_if_current(s, token, 3.0));
+  EXPECT_EQ(c.slot(s).state(), SlotState::ReservedIdle);
+  EXPECT_TRUE(c.release_if_current(s, token2, 3.0));
+  EXPECT_EQ(c.slot(s).state(), SlotState::Idle);
+}
+
+TEST(Cluster, IllegalTransitionsThrow) {
+  Cluster c(1, 2);
+  const SlotId s{0};
+  EXPECT_THROW(c.finish_task(s, 1.0), CheckError);   // not busy
+  EXPECT_THROW(c.kill_task(s, 1.0), CheckError);     // not busy
+  EXPECT_THROW(c.release_reservation(s, 1.0), CheckError);  // not reserved
+  c.start_task(s, task_of(0, 0, 0), 1.0);
+  EXPECT_THROW(c.start_task(s, task_of(0, 0, 1), 2.0), CheckError);
+  Reservation r;
+  EXPECT_THROW(c.reserve(s, r, 2.0), CheckError);  // busy slots can't reserve
+  EXPECT_THROW(c.finish_task(s, 0.5), CheckError);  // time moved backwards
+}
+
+TEST(Cluster, ForgetJobOutputs) {
+  Cluster c(1, 1);
+  const SlotId s{0};
+  c.start_task(s, task_of(3, 0, 0), 0.0);
+  c.finish_task(s, 1.0);
+  c.start_task(s, task_of(4, 0, 0), 1.0);
+  c.finish_task(s, 2.0);
+  EXPECT_TRUE(c.slot(s).has_output(StageId{JobId{3}, 0}));
+  c.forget_job_outputs(JobId{3});
+  EXPECT_FALSE(c.slot(s).has_output(StageId{JobId{3}, 0}));
+  EXPECT_TRUE(c.slot(s).has_output(StageId{JobId{4}, 0}));
+}
+
+TEST(Cluster, UtilizationAggregatesAcrossSlots) {
+  Cluster c(1, 2);
+  c.start_task(SlotId{0}, task_of(0, 0, 0), 0.0);
+  c.start_task(SlotId{1}, task_of(0, 0, 1), 0.0);
+  c.finish_task(SlotId{0}, 5.0);
+  c.finish_task(SlotId{1}, 10.0);
+  c.settle(10.0);
+  EXPECT_DOUBLE_EQ(c.total_busy_time(), 15.0);
+  EXPECT_DOUBLE_EQ(c.utilization(10.0), 0.75);
+}
+
+}  // namespace
+}  // namespace ssr

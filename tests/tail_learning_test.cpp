@@ -1,0 +1,84 @@
+// Tests for per-job-name tail-index learning (Sec. III-B: recurring jobs
+// learn their parameters from previous runs).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ssr/common/check.h"
+#include "ssr/core/reservation_manager.h"
+#include "ssr/sched/engine.h"
+
+namespace ssr {
+namespace {
+
+TEST(TailLearning, HillEstimateConvergesToTrueAlpha) {
+  SsrConfig cfg;
+  cfg.learn_tail_index = true;
+  cfg.tail_min_samples = 100;
+  cfg.pareto_alpha = 3.5;  // deliberately wrong operator guess
+
+  Engine engine(SchedConfig{}, 4, 4, 9);
+  auto manager = std::make_unique<ReservationManager>(cfg);
+  ReservationManager* mgr = manager.get();
+  engine.set_reservation_hook(std::move(manager));
+  for (int r = 0; r < 20; ++r) {
+    engine.submit(JobBuilder("etl")
+                      .priority(10)
+                      .submit_at(500.0 * r)
+                      .stage(16, pareto_duration(1.6, 2.0))
+                      .stage(16, pareto_duration(1.6, 2.0))
+                      .build());
+  }
+  engine.run();
+  const auto learned = mgr->learned_alpha("etl");
+  ASSERT_TRUE(learned.has_value());
+  EXPECT_NEAR(*learned, 1.6, 0.5);
+  EXPECT_FALSE(mgr->learned_alpha("unknown-job").has_value());
+}
+
+TEST(TailLearning, DisabledByDefault) {
+  SsrConfig cfg;  // learn_tail_index = false
+  Engine engine(SchedConfig{}, 2, 2, 1);
+  auto manager = std::make_unique<ReservationManager>(cfg);
+  ReservationManager* mgr = manager.get();
+  engine.set_reservation_hook(std::move(manager));
+  engine.submit(JobBuilder("j")
+                    .priority(10)
+                    .stage(4, pareto_duration(1.6, 1.0))
+                    .stage(4, pareto_duration(1.6, 1.0))
+                    .build());
+  engine.run();
+  EXPECT_FALSE(mgr->learned_alpha("j").has_value());
+}
+
+TEST(TailLearning, NotTrustedBelowMinSamples) {
+  SsrConfig cfg;
+  cfg.learn_tail_index = true;
+  cfg.tail_min_samples = 1000;  // more than one run produces
+  Engine engine(SchedConfig{}, 4, 4, 2);
+  auto manager = std::make_unique<ReservationManager>(cfg);
+  ReservationManager* mgr = manager.get();
+  engine.set_reservation_hook(std::move(manager));
+  engine.submit(JobBuilder("j")
+                    .priority(10)
+                    .stage(16, pareto_duration(1.6, 1.0))
+                    .stage(16, pareto_duration(1.6, 1.0))
+                    .build());
+  engine.run();
+  EXPECT_FALSE(mgr->learned_alpha("j").has_value());
+}
+
+TEST(TailLearning, ConfigValidation) {
+  SsrConfig bad;
+  bad.tail_fraction = 0.0;
+  EXPECT_THROW(ReservationManager{bad}, CheckError);
+  bad = {};
+  bad.tail_fraction = 1.0;
+  EXPECT_THROW(ReservationManager{bad}, CheckError);
+  bad = {};
+  bad.tail_min_samples = 5;
+  EXPECT_THROW(ReservationManager{bad}, CheckError);
+}
+
+}  // namespace
+}  // namespace ssr

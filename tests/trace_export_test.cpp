@@ -1,0 +1,72 @@
+// Tests for the Chrome-tracing exporter.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "ssr/core/reservation_manager.h"
+#include "ssr/metrics/trace_export.h"
+#include "ssr/sched/engine.h"
+
+namespace ssr {
+namespace {
+
+TEST(TraceExport, RecordsEveryAttemptAsCompleteEvent) {
+  Engine engine(SchedConfig{}, 1, 2, 1);
+  TraceExporter trace;
+  engine.add_observer(&trace);
+  engine.submit(JobBuilder("j")
+                    .stage(2, fixed_duration(5.0))
+                    .stage(2, fixed_duration(5.0))
+                    .build());
+  engine.run();
+  EXPECT_EQ(trace.event_count(), 4u);
+
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("submit j"), std::string::npos);
+  EXPECT_NE(json.find("finish j"), std::string::npos);
+  // 5 simulated seconds -> 5000 trace us.
+  EXPECT_NE(json.find("\"dur\":5000"), std::string::npos);
+}
+
+TEST(TraceExport, MarksKilledStragglerAttempts) {
+  SsrConfig cfg;
+  cfg.enable_straggler_mitigation = true;
+  Engine engine(SchedConfig{}, 1, 4, 1);
+  engine.set_reservation_hook(std::make_unique<ReservationManager>(cfg));
+  TraceExporter trace;
+  engine.add_observer(&trace);
+  engine.submit(JobBuilder("fg")
+                    .priority(10)
+                    .stage(4, uniform_duration(1.0, 2.0))
+                    .explicit_durations({1.0, 1.0, 60.0, 60.0})
+                    .stage(4, fixed_duration(2.0))
+                    .build());
+  engine.run();
+  std::ostringstream os;
+  trace.write_json(os);
+  EXPECT_NE(os.str().find("(killed)"), std::string::npos);
+  EXPECT_NE(os.str().find("\"killed\":true"), std::string::npos);
+}
+
+TEST(TraceExport, EscapesJobNames) {
+  Engine engine(SchedConfig{}, 1, 1, 1);
+  TraceExporter trace;
+  engine.add_observer(&trace);
+  engine.submit(JobBuilder("we\"ird\\name")
+                    .stage(1, fixed_duration(1.0))
+                    .build());
+  engine.run();
+  std::ostringstream os;
+  trace.write_json(os);
+  EXPECT_NE(os.str().find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssr

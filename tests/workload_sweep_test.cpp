@@ -1,0 +1,89 @@
+// Parameterized sweeps over the workload generators: every SQL template and
+// several ML scales must produce valid DAGs that run to completion alone.
+#include <gtest/gtest.h>
+
+#include "ssr/sched/engine.h"
+#include "ssr/workload/mlbench.h"
+#include "ssr/workload/sqlbench.h"
+
+namespace ssr {
+namespace {
+
+class SqlTemplateSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SqlTemplateSweep, TemplateValidatesAndRuns) {
+  SqlJobParams p;
+  p.query_index = GetParam();
+  p.base_parallelism = 8;
+  const JobSpec spec = make_sql_query(p);
+
+  JobGraph g(JobId{0}, spec);
+  EXPECT_GE(g.num_stages(), 4u);
+  EXPECT_LE(g.num_stages(), 9u);
+  EXPECT_GE(g.roots().size(), 1u);
+  EXPECT_LE(g.roots().size(), 2u);
+  // Exactly one final stage (queries produce one result).
+  std::uint32_t finals = 0;
+  for (std::uint32_t i = 0; i < g.num_stages(); ++i) {
+    if (g.is_final_stage(i)) ++finals;
+  }
+  EXPECT_EQ(finals, 1u);
+
+  Engine engine(SchedConfig{}, 4, 4, GetParam() + 1);
+  const JobId id = engine.submit(spec);
+  engine.run();
+  EXPECT_TRUE(engine.job_finished(id));
+  EXPECT_GT(engine.jct(id), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, SqlTemplateSweep,
+                         ::testing::Range<std::uint32_t>(0, 20));
+
+struct MlScale {
+  std::uint32_t parallelism;
+  std::uint32_t cluster_slots;
+};
+
+class MlScaleSweep : public ::testing::TestWithParam<MlScale> {};
+
+TEST_P(MlScaleSweep, AllThreeAppsRunAtThisScale) {
+  const MlScale& s = GetParam();
+  for (auto make : {make_kmeans, make_svm, make_pagerank}) {
+    Engine engine(SchedConfig{}, 1, s.cluster_slots, 3);
+    const JobId id = engine.submit(make(s.parallelism, 10, 0.0));
+    engine.run();
+    EXPECT_TRUE(engine.job_finished(id));
+    // Lower bound: at least (total work) / slots.
+    EXPECT_GT(engine.jct(id), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, MlScaleSweep,
+                         ::testing::Values(MlScale{1, 1}, MlScale{2, 4},
+                                           MlScale{8, 4}, MlScale{32, 16},
+                                           MlScale{64, 64}));
+
+TEST(SchedConfigKnobs, TaskOverheadLengthensEveryAttempt) {
+  SchedConfig with_overhead;
+  with_overhead.task_overhead = 0.5;
+  Engine engine(with_overhead, 1, 2, 1);
+  const JobId id = engine.submit(JobBuilder("j")
+                                     .stage(2, fixed_duration(10.0))
+                                     .stage(2, fixed_duration(10.0))
+                                     .build());
+  engine.run();
+  // Two phases, each 10 + 0.5.
+  EXPECT_DOUBLE_EQ(engine.jct(id), 21.0);
+}
+
+TEST(SchedConfigKnobs, ConfigValidation) {
+  SchedConfig bad;
+  bad.locality_slowdown = 0.5;
+  EXPECT_THROW(Engine(bad, 1, 1, 1), CheckError);
+  bad = {};
+  bad.locality_wait = -1.0;
+  EXPECT_THROW(Engine(bad, 1, 1, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,176 @@
+// Tests for the workload synthesizers: ML chains, SQL DAG templates,
+// Google-trace-like background jobs, and the Fig. 17 Pareto adjustment.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ssr/common/check.h"
+#include "ssr/common/stats.h"
+#include "ssr/dag/job.h"
+#include "ssr/workload/adjust.h"
+#include "ssr/workload/mlbench.h"
+#include "ssr/workload/sqlbench.h"
+#include "ssr/workload/tracegen.h"
+
+namespace ssr {
+namespace {
+
+TEST(MlBench, ChainShapeAndStableParallelism) {
+  const JobSpec spec = make_kmeans(20, 10, 5.0);
+  EXPECT_EQ(spec.name, "kmeans");
+  EXPECT_EQ(spec.priority, 10);
+  EXPECT_DOUBLE_EQ(spec.submit_time, 5.0);
+  ASSERT_EQ(spec.stages.size(), 9u);  // load + 8 iterations
+  for (const auto& st : spec.stages) {
+    EXPECT_EQ(st.num_tasks, 20u);  // stable parallelism (Case-1 safe)
+  }
+  // Chain: each non-root stage depends on its predecessor only.
+  for (std::size_t i = 1; i < spec.stages.size(); ++i) {
+    EXPECT_EQ(spec.stages[i].parents,
+              (std::vector<std::uint32_t>{static_cast<std::uint32_t>(i - 1)}));
+  }
+  // Load phase is heavier than iteration phases.
+  EXPECT_GT(spec.stages[0].duration->mean(), spec.stages[1].duration->mean());
+}
+
+TEST(MlBench, ThreeAppsDifferInShape) {
+  const JobSpec k = make_kmeans(8, 0);
+  const JobSpec s = make_svm(8, 0);
+  const JobSpec p = make_pagerank(8, 0);
+  EXPECT_NE(k.stages.size(), s.stages.size());
+  EXPECT_NE(s.stages.size(), p.stages.size());
+  // All three validate as DAGs.
+  (void)JobGraph(JobId{0}, k);
+  (void)JobGraph(JobId{1}, s);
+  (void)JobGraph(JobId{2}, p);
+}
+
+TEST(SqlBench, TemplatesChangeParallelismAcrossPhases) {
+  int with_expansion = 0, with_shrink = 0;
+  for (std::uint32_t q = 0; q < 20; ++q) {
+    SqlJobParams params;
+    params.query_index = q;
+    params.base_parallelism = 16;
+    const JobSpec spec = make_sql_query(params);
+    JobGraph g(JobId{q}, spec);  // must validate
+    bool expands = false, shrinks = false;
+    for (std::uint32_t i = 0; i < g.num_stages(); ++i) {
+      const auto n = g.downstream_parallelism(i);
+      if (!n) continue;
+      if (*n > g.stage(i).num_tasks) expands = true;
+      if (*n < g.stage(i).num_tasks) shrinks = true;
+    }
+    with_expansion += expands ? 1 : 0;
+    with_shrink += shrinks ? 1 : 0;
+  }
+  // The suite must exercise both directions of parallelism change.
+  EXPECT_GE(with_expansion, 5);
+  EXPECT_GE(with_shrink, 5);
+}
+
+TEST(SqlBench, JoinTemplatesHaveTwoRoots) {
+  SqlJobParams params;
+  params.query_index = 0;  // q % 3 == 0 -> join template
+  const JobSpec spec = make_sql_query(params);
+  JobGraph g(JobId{0}, spec);
+  EXPECT_EQ(g.roots().size(), 2u);
+}
+
+TEST(SqlBench, RejectsBadQueryIndex) {
+  SqlJobParams params;
+  params.query_index = 20;
+  EXPECT_THROW(make_sql_query(params), CheckError);
+}
+
+TEST(TraceGen, DeterministicInSeed) {
+  TraceGenConfig cfg;
+  cfg.num_jobs = 50;
+  const auto a = make_background_jobs(cfg);
+  const auto b = make_background_jobs(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].stages.size(), b[i].stages.size());
+    EXPECT_EQ(a[i].stages[0].num_tasks, b[i].stages[0].num_tasks);
+  }
+}
+
+TEST(TraceGen, RespectsWindowAndCounts) {
+  TraceGenConfig cfg;
+  cfg.num_jobs = 200;
+  cfg.window = 1000.0;
+  const auto jobs = make_background_jobs(cfg);
+  EXPECT_EQ(jobs.size(), 200u);
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.submit_time, 0.0);
+    EXPECT_LE(j.submit_time, 1000.0);
+    EXPECT_FALSE(j.parallelism_known);  // trace jobs are Case-1
+    EXPECT_GE(j.stages.size(), 1u);
+    EXPECT_LE(j.stages.size(), 2u);
+    (void)JobGraph(JobId{0}, j);  // validates
+  }
+}
+
+TEST(TraceGen, RuntimeMultiplierProlongsTasks) {
+  TraceGenConfig base;
+  base.num_jobs = 20;
+  TraceGenConfig doubled = base;
+  doubled.runtime_multiplier = 2.0;
+  const auto a = make_background_jobs(base);
+  const auto b = make_background_jobs(doubled);
+  EXPECT_NEAR(b[0].stages[0].duration->mean(),
+              2.0 * a[0].stages[0].duration->mean(), 1e-9);
+}
+
+TEST(TraceGen, MixesSmallAndLargeJobs) {
+  TraceGenConfig cfg;
+  cfg.num_jobs = 500;
+  const auto jobs = make_background_jobs(cfg);
+  int small = 0, large = 0;
+  for (const auto& j : jobs) {
+    if (j.stages[0].num_tasks <= cfg.small_job_max_tasks) {
+      ++small;
+    } else {
+      ++large;
+    }
+  }
+  EXPECT_GT(small, large);  // most jobs are small (Sec. III-C)
+  EXPECT_GT(large, 0);
+}
+
+TEST(Adjust, ParetoAdjustPreservesStageMeans) {
+  Rng rng(3);
+  JobSpec spec = make_kmeans(50, 0);
+  const double original_mean = spec.stages[2].duration->mean();
+  spec = pareto_adjust(std::move(spec), 1.6, rng);
+  for (const auto& st : spec.stages) {
+    ASSERT_TRUE(st.explicit_durations.has_value());
+    EXPECT_EQ(st.explicit_durations->size(), st.num_tasks);
+  }
+  // The resampling distribution is the same-mean Pareto.
+  EXPECT_NEAR(spec.stages[2].duration->mean(), original_mean, 1e-9);
+  // Empirical mean over a wide stage is in the right ballpark (heavy tail
+  // makes this noisy; just require the right order of magnitude).
+  const double emp = mean_of(*spec.stages[2].explicit_durations);
+  EXPECT_GT(emp, 0.2 * original_mean);
+  EXPECT_LT(emp, 5.0 * original_mean);
+}
+
+TEST(Adjust, ProlongScalesExplicitAndModel) {
+  JobSpec spec = JobBuilder("p")
+                     .stage(2, fixed_duration(3.0))
+                     .explicit_durations({1.0, 2.0})
+                     .build();
+  spec = prolong(std::move(spec), 2.0);
+  EXPECT_DOUBLE_EQ(spec.stages[0].duration->mean(), 6.0);
+  EXPECT_DOUBLE_EQ((*spec.stages[0].explicit_durations)[1], 4.0);
+}
+
+TEST(Adjust, ScaleParallelismDoubles) {
+  JobSpec spec = make_svm(16, 0);
+  spec = scale_parallelism(std::move(spec), 2.0);
+  for (const auto& st : spec.stages) EXPECT_EQ(st.num_tasks, 32u);
+}
+
+}  // namespace
+}  // namespace ssr
