@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_learned_alpha.dir/ablation_learned_alpha.cpp.o"
+  "CMakeFiles/ablation_learned_alpha.dir/ablation_learned_alpha.cpp.o.d"
+  "ablation_learned_alpha"
+  "ablation_learned_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_learned_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_impact.dir/background_impact.cpp.o"
+  "CMakeFiles/background_impact.dir/background_impact.cpp.o.d"
+  "background_impact"
+  "background_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_priority_no_isolation.dir/fig01_priority_no_isolation.cpp.o"
+  "CMakeFiles/fig01_priority_no_isolation.dir/fig01_priority_no_isolation.cpp.o.d"
+  "fig01_priority_no_isolation"
+  "fig01_priority_no_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_priority_no_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

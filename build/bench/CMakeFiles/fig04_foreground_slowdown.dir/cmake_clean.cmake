@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_foreground_slowdown.dir/fig04_foreground_slowdown.cpp.o"
+  "CMakeFiles/fig04_foreground_slowdown.dir/fig04_foreground_slowdown.cpp.o.d"
+  "fig04_foreground_slowdown"
+  "fig04_foreground_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_foreground_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

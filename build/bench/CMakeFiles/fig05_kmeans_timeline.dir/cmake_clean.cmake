@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_kmeans_timeline.dir/fig05_kmeans_timeline.cpp.o"
+  "CMakeFiles/fig05_kmeans_timeline.dir/fig05_kmeans_timeline.cpp.o.d"
+  "fig05_kmeans_timeline"
+  "fig05_kmeans_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_kmeans_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_locality_slowdown.dir/fig06_locality_slowdown.cpp.o"
+  "CMakeFiles/fig06_locality_slowdown.dir/fig06_locality_slowdown.cpp.o.d"
+  "fig06_locality_slowdown"
+  "fig06_locality_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_locality_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_tradeoff_curve.dir/fig08_tradeoff_curve.cpp.o"
+  "CMakeFiles/fig08_tradeoff_curve.dir/fig08_tradeoff_curve.cpp.o.d"
+  "fig08_tradeoff_curve"
+  "fig08_tradeoff_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_tradeoff_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_straggler_numerical.dir/fig10_straggler_numerical.cpp.o"
+  "CMakeFiles/fig10_straggler_numerical.dir/fig10_straggler_numerical.cpp.o.d"
+  "fig10_straggler_numerical"
+  "fig10_straggler_numerical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_straggler_numerical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ssr_isolation.dir/fig12_ssr_isolation.cpp.o"
+  "CMakeFiles/fig12_ssr_isolation.dir/fig12_ssr_isolation.cpp.o.d"
+  "fig12_ssr_isolation"
+  "fig12_ssr_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ssr_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_tradeoff_measured.dir/fig14_tradeoff_measured.cpp.o"
+  "CMakeFiles/fig14_tradeoff_measured.dir/fig14_tradeoff_measured.cpp.o.d"
+  "fig14_tradeoff_measured"
+  "fig14_tradeoff_measured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_tradeoff_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

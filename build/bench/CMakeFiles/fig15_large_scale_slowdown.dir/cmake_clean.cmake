@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_large_scale_slowdown.dir/fig15_large_scale_slowdown.cpp.o"
+  "CMakeFiles/fig15_large_scale_slowdown.dir/fig15_large_scale_slowdown.cpp.o.d"
+  "fig15_large_scale_slowdown"
+  "fig15_large_scale_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_large_scale_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_large_scale_slowdown.
+# This may be replaced when dependencies are built.

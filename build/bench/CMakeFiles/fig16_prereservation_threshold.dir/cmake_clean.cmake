@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_prereservation_threshold.dir/fig16_prereservation_threshold.cpp.o"
+  "CMakeFiles/fig16_prereservation_threshold.dir/fig16_prereservation_threshold.cpp.o.d"
+  "fig16_prereservation_threshold"
+  "fig16_prereservation_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_prereservation_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_straggler_jct_reduction.dir/fig17_straggler_jct_reduction.cpp.o"
+  "CMakeFiles/fig17_straggler_jct_reduction.dir/fig17_straggler_jct_reduction.cpp.o.d"
+  "fig17_straggler_jct_reduction"
+  "fig17_straggler_jct_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_straggler_jct_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_straggler_jct_reduction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fair_sharing.dir/fair_sharing.cpp.o"
+  "CMakeFiles/example_fair_sharing.dir/fair_sharing.cpp.o.d"
+  "example_fair_sharing"
+  "example_fair_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fair_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heterogeneous_slots.dir/heterogeneous_slots.cpp.o"
+  "CMakeFiles/example_heterogeneous_slots.dir/heterogeneous_slots.cpp.o.d"
+  "example_heterogeneous_slots"
+  "example_heterogeneous_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heterogeneous_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_heterogeneous_slots.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_priority_isolation.dir/priority_isolation.cpp.o"
+  "CMakeFiles/example_priority_isolation.dir/priority_isolation.cpp.o.d"
+  "example_priority_isolation"
+  "example_priority_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_priority_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_straggler_mitigation.dir/straggler_mitigation.cpp.o"
+  "CMakeFiles/example_straggler_mitigation.dir/straggler_mitigation.cpp.o.d"
+  "example_straggler_mitigation"
+  "example_straggler_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_straggler_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

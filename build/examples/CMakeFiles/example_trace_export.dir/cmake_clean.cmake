@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_export.dir/trace_export.cpp.o"
+  "CMakeFiles/example_trace_export.dir/trace_export.cpp.o.d"
+  "example_trace_export"
+  "example_trace_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

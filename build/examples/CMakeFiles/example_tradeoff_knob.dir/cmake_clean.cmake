@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tradeoff_knob.dir/tradeoff_knob.cpp.o"
+  "CMakeFiles/example_tradeoff_knob.dir/tradeoff_knob.cpp.o.d"
+  "example_tradeoff_knob"
+  "example_tradeoff_knob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tradeoff_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_analysis.dir/ssr/analysis/pareto.cpp.o"
+  "CMakeFiles/ssr_analysis.dir/ssr/analysis/pareto.cpp.o.d"
+  "CMakeFiles/ssr_analysis.dir/ssr/analysis/straggler_model.cpp.o"
+  "CMakeFiles/ssr_analysis.dir/ssr/analysis/straggler_model.cpp.o.d"
+  "libssr_analysis.a"
+  "libssr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

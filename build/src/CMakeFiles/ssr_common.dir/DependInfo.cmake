@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssr/common/distributions.cpp" "src/CMakeFiles/ssr_common.dir/ssr/common/distributions.cpp.o" "gcc" "src/CMakeFiles/ssr_common.dir/ssr/common/distributions.cpp.o.d"
+  "/root/repo/src/ssr/common/stats.cpp" "src/CMakeFiles/ssr_common.dir/ssr/common/stats.cpp.o" "gcc" "src/CMakeFiles/ssr_common.dir/ssr/common/stats.cpp.o.d"
+  "/root/repo/src/ssr/common/table.cpp" "src/CMakeFiles/ssr_common.dir/ssr/common/table.cpp.o" "gcc" "src/CMakeFiles/ssr_common.dir/ssr/common/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_common.dir/ssr/common/distributions.cpp.o"
+  "CMakeFiles/ssr_common.dir/ssr/common/distributions.cpp.o.d"
+  "CMakeFiles/ssr_common.dir/ssr/common/stats.cpp.o"
+  "CMakeFiles/ssr_common.dir/ssr/common/stats.cpp.o.d"
+  "CMakeFiles/ssr_common.dir/ssr/common/table.cpp.o"
+  "CMakeFiles/ssr_common.dir/ssr/common/table.cpp.o.d"
+  "libssr_common.a"
+  "libssr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

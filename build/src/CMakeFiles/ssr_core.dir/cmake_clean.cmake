@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_core.dir/ssr/core/naive_policies.cpp.o"
+  "CMakeFiles/ssr_core.dir/ssr/core/naive_policies.cpp.o.d"
+  "CMakeFiles/ssr_core.dir/ssr/core/reservation_manager.cpp.o"
+  "CMakeFiles/ssr_core.dir/ssr/core/reservation_manager.cpp.o.d"
+  "libssr_core.a"
+  "libssr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

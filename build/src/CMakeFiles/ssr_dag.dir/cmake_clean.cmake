@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_dag.dir/ssr/dag/job.cpp.o"
+  "CMakeFiles/ssr_dag.dir/ssr/dag/job.cpp.o.d"
+  "libssr_dag.a"
+  "libssr_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

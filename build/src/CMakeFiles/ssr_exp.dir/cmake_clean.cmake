@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_exp.dir/ssr/exp/scenario.cpp.o"
+  "CMakeFiles/ssr_exp.dir/ssr/exp/scenario.cpp.o.d"
+  "libssr_exp.a"
+  "libssr_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libssr_exp.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_metrics.dir/ssr/metrics/collectors.cpp.o"
+  "CMakeFiles/ssr_metrics.dir/ssr/metrics/collectors.cpp.o.d"
+  "CMakeFiles/ssr_metrics.dir/ssr/metrics/trace_export.cpp.o"
+  "CMakeFiles/ssr_metrics.dir/ssr/metrics/trace_export.cpp.o.d"
+  "libssr_metrics.a"
+  "libssr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssr/sched/engine.cpp" "src/CMakeFiles/ssr_sched.dir/ssr/sched/engine.cpp.o" "gcc" "src/CMakeFiles/ssr_sched.dir/ssr/sched/engine.cpp.o.d"
+  "/root/repo/src/ssr/sched/stage_runtime.cpp" "src/CMakeFiles/ssr_sched.dir/ssr/sched/stage_runtime.cpp.o" "gcc" "src/CMakeFiles/ssr_sched.dir/ssr/sched/stage_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_sched.dir/ssr/sched/engine.cpp.o"
+  "CMakeFiles/ssr_sched.dir/ssr/sched/engine.cpp.o.d"
+  "CMakeFiles/ssr_sched.dir/ssr/sched/stage_runtime.cpp.o"
+  "CMakeFiles/ssr_sched.dir/ssr/sched/stage_runtime.cpp.o.d"
+  "libssr_sched.a"
+  "libssr_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssr/sim/cluster.cpp" "src/CMakeFiles/ssr_sim.dir/ssr/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/ssr_sim.dir/ssr/sim/cluster.cpp.o.d"
+  "/root/repo/src/ssr/sim/event_queue.cpp" "src/CMakeFiles/ssr_sim.dir/ssr/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/ssr_sim.dir/ssr/sim/event_queue.cpp.o.d"
+  "/root/repo/src/ssr/sim/simulator.cpp" "src/CMakeFiles/ssr_sim.dir/ssr/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/ssr_sim.dir/ssr/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_sim.dir/ssr/sim/cluster.cpp.o"
+  "CMakeFiles/ssr_sim.dir/ssr/sim/cluster.cpp.o.d"
+  "CMakeFiles/ssr_sim.dir/ssr/sim/event_queue.cpp.o"
+  "CMakeFiles/ssr_sim.dir/ssr/sim/event_queue.cpp.o.d"
+  "CMakeFiles/ssr_sim.dir/ssr/sim/simulator.cpp.o"
+  "CMakeFiles/ssr_sim.dir/ssr/sim/simulator.cpp.o.d"
+  "libssr_sim.a"
+  "libssr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssr/workload/adjust.cpp" "src/CMakeFiles/ssr_workload.dir/ssr/workload/adjust.cpp.o" "gcc" "src/CMakeFiles/ssr_workload.dir/ssr/workload/adjust.cpp.o.d"
+  "/root/repo/src/ssr/workload/mlbench.cpp" "src/CMakeFiles/ssr_workload.dir/ssr/workload/mlbench.cpp.o" "gcc" "src/CMakeFiles/ssr_workload.dir/ssr/workload/mlbench.cpp.o.d"
+  "/root/repo/src/ssr/workload/sqlbench.cpp" "src/CMakeFiles/ssr_workload.dir/ssr/workload/sqlbench.cpp.o" "gcc" "src/CMakeFiles/ssr_workload.dir/ssr/workload/sqlbench.cpp.o.d"
+  "/root/repo/src/ssr/workload/tracegen.cpp" "src/CMakeFiles/ssr_workload.dir/ssr/workload/tracegen.cpp.o" "gcc" "src/CMakeFiles/ssr_workload.dir/ssr/workload/tracegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

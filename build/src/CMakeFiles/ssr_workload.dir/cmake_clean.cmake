@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_workload.dir/ssr/workload/adjust.cpp.o"
+  "CMakeFiles/ssr_workload.dir/ssr/workload/adjust.cpp.o.d"
+  "CMakeFiles/ssr_workload.dir/ssr/workload/mlbench.cpp.o"
+  "CMakeFiles/ssr_workload.dir/ssr/workload/mlbench.cpp.o.d"
+  "CMakeFiles/ssr_workload.dir/ssr/workload/sqlbench.cpp.o"
+  "CMakeFiles/ssr_workload.dir/ssr/workload/sqlbench.cpp.o.d"
+  "CMakeFiles/ssr_workload.dir/ssr/workload/tracegen.cpp.o"
+  "CMakeFiles/ssr_workload.dir/ssr/workload/tracegen.cpp.o.d"
+  "libssr_workload.a"
+  "libssr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

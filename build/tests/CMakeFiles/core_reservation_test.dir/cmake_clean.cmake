@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_reservation_test.dir/core_reservation_test.cpp.o"
+  "CMakeFiles/core_reservation_test.dir/core_reservation_test.cpp.o.d"
+  "core_reservation_test"
+  "core_reservation_test.pdb"
+  "core_reservation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_reservation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

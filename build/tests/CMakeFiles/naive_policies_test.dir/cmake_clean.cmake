@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_policies_test.dir/naive_policies_test.cpp.o"
+  "CMakeFiles/naive_policies_test.dir/naive_policies_test.cpp.o.d"
+  "naive_policies_test"
+  "naive_policies_test.pdb"
+  "naive_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

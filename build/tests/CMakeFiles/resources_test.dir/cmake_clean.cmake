@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resources_test.dir/resources_test.cpp.o"
+  "CMakeFiles/resources_test.dir/resources_test.cpp.o.d"
+  "resources_test"
+  "resources_test.pdb"
+  "resources_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resources_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_engine_test.dir/sched_engine_test.cpp.o"
+  "CMakeFiles/sched_engine_test.dir/sched_engine_test.cpp.o.d"
+  "sched_engine_test"
+  "sched_engine_test.pdb"
+  "sched_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_learning_test.dir/tail_learning_test.cpp.o"
+  "CMakeFiles/tail_learning_test.dir/tail_learning_test.cpp.o.d"
+  "tail_learning_test"
+  "tail_learning_test.pdb"
+  "tail_learning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_learning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

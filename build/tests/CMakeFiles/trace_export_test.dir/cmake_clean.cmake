@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_export_test.dir/trace_export_test.cpp.o"
+  "CMakeFiles/trace_export_test.dir/trace_export_test.cpp.o.d"
+  "trace_export_test"
+  "trace_export_test.pdb"
+  "trace_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_sweep_test.dir/workload_sweep_test.cpp.o"
+  "CMakeFiles/workload_sweep_test.dir/workload_sweep_test.cpp.o.d"
+  "workload_sweep_test"
+  "workload_sweep_test.pdb"
+  "workload_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
