@@ -9,15 +9,17 @@
 //   * underestimating alpha lengthens D -> more reserved-idle waste;
 //   * learning alpha from previous recurrences (Hill estimator) converges
 //     to the sweet spot automatically.
+//
+// The four alpha-source cases and the twelve per-recurrence alone baselines
+// run as one parallel sweep; recurrences are paired with their baselines by
+// submission order (the background jobs precede them in the job list).
 #include <iostream>
 #include <memory>
 
 #include "ssr/common/stats.h"
 #include "ssr/common/table.h"
 #include "ssr/core/reservation_manager.h"
-#include "ssr/exp/scenario.h"
-#include "ssr/metrics/collectors.h"
-#include "ssr/sched/engine.h"
+#include "ssr/exp/sweep.h"
 #include "ssr/workload/adjust.h"
 #include "ssr/workload/mlbench.h"
 #include "ssr/workload/tracegen.h"
@@ -29,72 +31,16 @@ using namespace ssr;
 constexpr double kTrueAlpha = 1.6;
 constexpr int kRecurrences = 12;
 
-struct Outcome {
-  double mean_slowdown = 0.0;
-  double reserved_idle = 0.0;
-  std::uint64_t expired = 0;
-};
-
-Outcome run(SsrConfig cfg, std::uint64_t seed) {
-  Engine engine(SchedConfig{}, 25, 2, seed);  // 50 slots
-  auto manager = std::make_unique<ReservationManager>(cfg);
-  ReservationManager* mgr = manager.get();
-  engine.set_reservation_hook(std::move(manager));
-  JctCollector jcts;
-  engine.add_observer(&jcts);
-
-  TraceGenConfig bg;
-  bg.num_jobs = 120;
-  bg.window = 3600.0;
-  bg.seed = seed + 5;
-  for (JobSpec& spec : make_background_jobs(bg)) engine.submit(std::move(spec));
-
-  // The recurring job: KMeans shape with a true Pareto-1.6 latency tail.
-  Rng adjust_rng(seed + 77);
-  std::vector<double> alone;
-  for (int r = 0; r < kRecurrences; ++r) {
-    JobSpec job = pareto_adjust(make_kmeans(16, 10, 0.0), kTrueAlpha,
-                                adjust_rng);
-    job.submit_time = 250.0 * (r + 1);
-    // Alone baseline with identical explicit durations.
-    JobSpec alone_copy = job;
-    alone_copy.submit_time = 0.0;
-    RunOptions o;
-    o.seed = seed;
-    alone.push_back(alone_jct(ClusterSpec{25, 2}, std::move(alone_copy), o));
-    engine.submit(std::move(job));
-  }
-  engine.run();
-  engine.cluster().settle(engine.sim().now());
-
-  Outcome out;
-  OnlineStats slow;
-  std::size_t i = 0;
-  for (const auto& rec : jcts.completions()) {
-    if (rec.name == "kmeans") {
-      // completions are in finish order == submit order for a recurring
-      // chain spaced far apart; pair with the matching alone baseline.
-      slow.add(rec.jct() / alone[std::min(i, alone.size() - 1)]);
-      ++i;
-    }
-  }
-  out.mean_slowdown = slow.mean();
-  out.reserved_idle = engine.cluster().total_reserved_idle_time();
-  out.expired = mgr->reservations_expired();
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ssr;
   const BenchArgs args = BenchArgs::parse(argc, argv);
+  const ClusterSpec cluster{.nodes = 25, .slots_per_node = 2};  // 50 slots
 
   std::cout << "Ablation: configured vs learned tail index (true alpha = "
             << kTrueAlpha << ", P = 0.6, " << kRecurrences
             << " recurrences)\n\n";
-  TablePrinter table({"alpha source", "mean fg slowdown",
-                      "reserved-idle (slot-s)", "expired reservations"});
 
   struct Case {
     const char* label;
@@ -107,6 +53,40 @@ int main(int argc, char** argv) {
       {"configured 1.2 (too heavy)", 1.2, false},
       {"learned (Hill, starts at 3.5)", 3.5, true},
   };
+
+  // The recurring job: KMeans shape with a true Pareto-1.6 latency tail.
+  // Durations are materialized by pareto_adjust, so the same specs serve
+  // both the contended runs and the alone baselines.
+  Rng adjust_rng(args.seed + 77);
+  std::vector<JobSpec> recurrences;
+  for (int r = 0; r < kRecurrences; ++r) {
+    JobSpec job = pareto_adjust(make_kmeans(16, 10, 0.0), kTrueAlpha,
+                                adjust_rng);
+    job.submit_time = 250.0 * (r + 1);
+    recurrences.push_back(std::move(job));
+  }
+
+  TraceGenConfig bg;
+  bg.num_jobs = 120;
+  bg.window = 3600.0;
+  bg.seed = args.seed + 5;
+  std::vector<JobSpec> contended = make_background_jobs(bg);
+  const std::size_t bg_count = contended.size();
+  for (const JobSpec& job : recurrences) contended.push_back(job);
+
+  // Grid layout: [12 alone baselines, one contended trial per case].
+  RunOptions base;
+  base.seed = args.seed;
+  std::vector<Trial> grid;
+  for (int r = 0; r < kRecurrences; ++r) {
+    JobSpec alone_copy = recurrences[r];
+    alone_copy.submit_time = 0.0;
+    grid.push_back({cluster,
+                    {std::move(alone_copy)},
+                    base,
+                    "alone",
+                    {{"recurrence", std::to_string(r)}}});
+  }
   for (const Case& c : cases) {
     SsrConfig cfg;
     cfg.min_reserving_priority = 1;
@@ -114,12 +94,29 @@ int main(int argc, char** argv) {
     cfg.pareto_alpha = c.configured;
     cfg.learn_tail_index = c.learn;
     cfg.tail_min_samples = 100;
-    const Outcome o = run(cfg, args.seed);
-    table.add_row({c.label, TablePrinter::num(o.mean_slowdown, 3),
-                   TablePrinter::num(o.reserved_idle, 0),
-                   std::to_string(o.expired)});
+    RunOptions o = base;
+    o.hook_factory = [cfg] { return std::make_unique<ReservationManager>(cfg); };
+    grid.push_back({cluster, contended, o, c.label, {{"case", c.label}}});
+  }
+
+  const SweepRunner runner(sweep_options(args));
+  const std::vector<TrialResult> results = runner.run(grid);
+
+  TablePrinter table({"alpha source", "mean fg slowdown",
+                      "reserved-idle (slot-s)", "expired reservations"});
+  for (std::size_t ci = 0; ci < std::size(cases); ++ci) {
+    const RunResult& run = results[kRecurrences + ci].run;
+    OnlineStats slow;
+    for (int r = 0; r < kRecurrences; ++r) {
+      const double alone = results[r].run.jobs.front().jct;
+      slow.add(run.jobs[bg_count + r].jct / alone);
+    }
+    table.add_row({cases[ci].label, TablePrinter::num(slow.mean(), 3),
+                   TablePrinter::num(run.reserved_idle_time, 0),
+                   std::to_string(run.reservations_expired)});
   }
   table.print(std::cout);
+  emit_sweep_outputs(args, results);
   std::cout << "\nReading: a too-light configured tail expires reservations\n"
                "early (worse isolation); a too-heavy one over-holds slots;\n"
                "the learned estimate converges toward the oracle's balance\n"

@@ -9,77 +9,29 @@
 // background JCT (collateral damage).  The paper's argument: static
 // reservation either under-isolates or over-wastes depending on the guess;
 // timeout holds waste blindly; SSR gets isolation at the lowest cost.
+//
+// Each policy is a RunOptions::hook_factory trial; the whole ablation runs
+// as one parallel sweep.
 #include <iostream>
 #include <memory>
 
 #include "ssr/common/table.h"
 #include "ssr/core/naive_policies.h"
 #include "ssr/core/reservation_manager.h"
-#include "ssr/exp/scenario.h"
-#include "ssr/metrics/collectors.h"
-#include "ssr/sched/engine.h"
+#include "ssr/exp/sweep.h"
 #include "ssr/workload/mlbench.h"
 #include "ssr/workload/tracegen.h"
-
-namespace {
-
-using namespace ssr;
-
-struct PolicyResult {
-  double fg_slowdown = 0.0;
-  double reserved_idle = 0.0;
-  double bg_mean_jct = 0.0;
-};
-
-template <typename HookFactory>
-PolicyResult run_policy(HookFactory make_hook, double fg_alone,
-                        std::uint64_t seed) {
-  Engine engine(SchedConfig{}, 50, 2, seed);
-  std::unique_ptr<ReservationHook> hook = make_hook();
-  if (hook != nullptr) engine.set_reservation_hook(std::move(hook));
-  JctCollector jcts;
-  engine.add_observer(&jcts);
-
-  TraceGenConfig bg;
-  bg.num_jobs = 100;
-  bg.window = 1800.0;
-  bg.seed = seed + 1000;
-  for (JobSpec& spec : make_background_jobs(bg)) engine.submit(std::move(spec));
-  const JobId fg = engine.submit(make_kmeans(20, 10, bg.window * 0.25));
-  engine.run();
-  engine.cluster().settle(engine.sim().now());
-
-  PolicyResult out;
-  out.fg_slowdown = engine.jct(fg) / fg_alone;
-  out.reserved_idle = engine.cluster().total_reserved_idle_time();
-  double acc = 0.0;
-  std::size_t n = 0;
-  for (const auto& rec : jcts.completions()) {
-    if (rec.priority < 10) {
-      acc += rec.jct();
-      ++n;
-    }
-  }
-  out.bg_mean_jct = n > 0 ? acc / static_cast<double>(n) : 0.0;
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ssr;
   const BenchArgs args = BenchArgs::parse(argc, argv);
 
   const ClusterSpec cluster{.nodes = 50, .slots_per_node = 2};
-  RunOptions alone_opts;
-  alone_opts.seed = args.seed;
-  const double fg_alone =
-      alone_jct(cluster, make_kmeans(20, 10, 0.0), alone_opts);
+  RunOptions base;
+  base.seed = args.seed;
 
   std::cout << "Ablation: reservation policies (KMeans vs 100 background "
                "jobs, 100 slots)\n\n";
-  TablePrinter table({"policy", "fg slowdown", "reserved-idle (slot-s)",
-                      "bg mean JCT (s)"});
 
   struct Row {
     const char* label;
@@ -112,13 +64,51 @@ int main(int argc, char** argv) {
       {"SSR (P = 1.0)", ssr_strict},
       {"SSR (P = 0.5)", ssr_relaxed},
   };
+
+  TraceGenConfig bg;
+  bg.num_jobs = 100;
+  bg.window = 1800.0;
+  bg.seed = args.seed + 1000;
+  std::vector<JobSpec> contended = make_background_jobs(bg);
+  contended.push_back(make_kmeans(20, 10, bg.window * 0.25));
+
+  // Grid layout: [alone, one contended trial per policy row].
+  std::vector<Trial> grid;
+  grid.push_back({cluster,
+                  {make_kmeans(20, 10, 0.0)},
+                  base,
+                  "alone",
+                  {{"policy", "alone"}}});
   for (const Row& row : rows) {
-    const PolicyResult r = run_policy(row.make, fg_alone, args.seed);
-    table.add_row({row.label, TablePrinter::num(r.fg_slowdown, 2),
-                   TablePrinter::num(r.reserved_idle, 0),
-                   TablePrinter::num(r.bg_mean_jct, 1)});
+    RunOptions o = base;
+    o.hook_factory = row.make;
+    grid.push_back({cluster, contended, o, row.label, {{"policy", row.label}}});
+  }
+
+  const SweepRunner runner(sweep_options(args));
+  const std::vector<TrialResult> results = runner.run(grid);
+  const double fg_alone = results[0].run.jobs.front().jct;
+
+  TablePrinter table({"policy", "fg slowdown", "reserved-idle (slot-s)",
+                      "bg mean JCT (s)"});
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const RunResult& r = results[i + 1].run;
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (const JobResult& j : r.jobs) {
+      if (j.priority < 10) {
+        acc += j.jct;
+        ++n;
+      }
+    }
+    table.add_row(
+        {rows[i].label,
+         TablePrinter::num(r.jct_of("kmeans") / fg_alone, 2),
+         TablePrinter::num(r.reserved_idle_time, 0),
+         TablePrinter::num(n > 0 ? acc / static_cast<double>(n) : 0.0, 1)});
   }
   table.print(std::cout);
+  emit_sweep_outputs(args, results);
   std::cout << "\nReading: static carve-outs trade a fixed utilization loss\n"
                "for partial isolation (and guess-dependent!); timeout holds\n"
                "waste slot time on every task completion; SSR reaches the\n"

@@ -11,13 +11,16 @@
 // (c) locality slowdown factor 2x (10x instead of 5x).
 //
 // Run with --scale N to divide the cluster and workload sizes (default 1 =
-// paper scale); EXPERIMENTS.md records the scale used.
+// paper scale); EXPERIMENTS.md records the scale used.  The full grid —
+// per-job alone baselines plus the 18 contended cluster runs — executes on
+// the sweep pool; --jobs $(nproc) parallelizes the heavy contended runs,
+// which dominate the serial wall-clock.
 #include <iostream>
 #include <vector>
 
 #include "ssr/common/stats.h"
 #include "ssr/common/table.h"
-#include "ssr/exp/scenario.h"
+#include "ssr/exp/sweep.h"
 #include "ssr/workload/adjust.h"
 #include "ssr/workload/mlbench.h"
 #include "ssr/workload/sqlbench.h"
@@ -70,7 +73,7 @@ int main(int argc, char** argv) {
   using namespace ssr;
   BenchArgs args = BenchArgs::parse(argc, argv);
   // Default to 1/4 scale so the whole bench suite stays CI-friendly; pass
-  // --scale 1 for the paper-scale 1000-node / 8000-job run (~15 min).
+  // --scale 1 for the paper-scale 1000-node / 8000-job run.
   if (!args.scale_set) args.scale = 4.0;
 
   const ClusterSpec cluster{.nodes = args.scaled(1000), .slots_per_node = 4};
@@ -90,16 +93,26 @@ int main(int argc, char** argv) {
                               {"(b) bg tasks 2x", 2.0, 5.0},
                               {"(c) locality 10x", 1.0, 10.0}};
 
-  TablePrinter table({"setting", "suite", "avg slowdown w/o SSR",
-                      "avg slowdown w/ SSR"});
+  // Grid layout, recorded as it is built: per (setting, suite, pass):
+  // one alone baseline per foreground job, then the contended cluster run.
+  struct Cell {
+    std::size_t suite_index;  ///< into the per-setting suites vector
+    std::size_t alone_first;  ///< index of the first alone trial
+    std::size_t alone_count;
+    std::size_t run_index;    ///< index of the contended trial
+  };
+  std::vector<Trial> grid;
+  std::vector<Cell> cells;  // ordered: setting-major, suite, pass
+  std::vector<std::string> suite_names;
 
   for (const Setting& setting : settings) {
     SchedConfig sched;
     sched.locality_wait = 3.0;
     sched.locality_slowdown = setting.locality_slowdown;
 
+    std::size_t suite_index = 0;
     for (Suite& suite : make_foreground(20, window * 0.2, 30.0)) {
-      double avg_slow[2] = {0.0, 0.0};
+      if (suite_names.size() < 3) suite_names.push_back(suite.name);
       for (int pass = 0; pass < 2; ++pass) {
         RunOptions o;
         o.sched = sched;
@@ -108,14 +121,25 @@ int main(int argc, char** argv) {
           o.ssr = SsrConfig{};
           o.ssr->min_reserving_priority = 1;  // foreground class only
         }
+        const std::string label = std::string(setting.name) + "/" +
+                                  suite.name +
+                                  (pass == 0 ? "/nossr" : "/ssr");
 
+        Cell cell;
+        cell.suite_index = suite_index;
+        cell.alone_first = grid.size();
+        cell.alone_count = suite.jobs.size();
         // Per-job alone baselines (same scheduler config, empty cluster).
-        std::vector<double> alone;
-        alone.reserve(suite.jobs.size());
         for (const JobSpec& j : suite.jobs) {
           JobSpec copy = j;
           copy.submit_time = 0.0;
-          alone.push_back(alone_jct(cluster, std::move(copy), o));
+          grid.push_back({cluster,
+                          {std::move(copy)},
+                          o,
+                          label + "/alone",
+                          {{"setting", setting.name},
+                           {"suite", suite.name},
+                           {"policy", pass == 0 ? "none" : "ssr"}}});
         }
 
         TraceGenConfig bg;
@@ -124,22 +148,48 @@ int main(int argc, char** argv) {
         bg.runtime_multiplier = setting.bg_runtime_mult;
         bg.seed = args.seed + 42;
         std::vector<JobSpec> jobs = make_background_jobs(bg);
-        const std::size_t bg_count = jobs.size();
         for (const JobSpec& j : suite.jobs) jobs.push_back(j);
+        cell.run_index = grid.size();
+        grid.push_back({cluster,
+                        std::move(jobs),
+                        o,
+                        label,
+                        {{"setting", setting.name},
+                         {"suite", suite.name},
+                         {"policy", pass == 0 ? "none" : "ssr"}}});
+        cells.push_back(cell);
+      }
+      ++suite_index;
+    }
+  }
 
-        const RunResult r = run_scenario(cluster, std::move(jobs), o);
+  const SweepRunner runner(sweep_options(args));
+  const std::vector<TrialResult> results = runner.run(grid);
+
+  TablePrinter table({"setting", "suite", "avg slowdown w/o SSR",
+                      "avg slowdown w/ SSR"});
+  std::size_t cell_index = 0;
+  for (const Setting& setting : settings) {
+    for (const std::string& suite : suite_names) {
+      double avg_slow[2] = {0.0, 0.0};
+      for (int pass = 0; pass < 2; ++pass) {
+        const Cell& cell = cells[cell_index++];
+        const RunResult& run = results[cell.run_index].run;
+        const std::size_t bg_count = run.jobs.size() - cell.alone_count;
         OnlineStats slow;
-        for (std::size_t k = 0; k < suite.jobs.size(); ++k) {
-          slow.add(slowdown(r.jobs[bg_count + k].jct, alone[k]));
+        for (std::size_t k = 0; k < cell.alone_count; ++k) {
+          const double alone =
+              results[cell.alone_first + k].run.jobs.front().jct;
+          slow.add(slowdown(run.jobs[bg_count + k].jct, alone));
         }
         avg_slow[pass] = slow.mean();
       }
-      table.add_row({setting.name, suite.name,
-                     TablePrinter::num(avg_slow[0], 2),
+      table.add_row({setting.name, suite, TablePrinter::num(avg_slow[0], 2),
                      TablePrinter::num(avg_slow[1], 2)});
     }
   }
   table.print(std::cout);
+  emit_sweep_outputs(args, results);
   std::cout << "\nShape check (paper): long background tasks barely matter\n"
                "in a large cluster (a ~ b), but data locality dominates\n"
                "(c >> a) — and SSR cuts MLlib suites to < 1.1x while SQL\n"

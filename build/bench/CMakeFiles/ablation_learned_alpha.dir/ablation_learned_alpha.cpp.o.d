@@ -218,8 +218,8 @@ bench/CMakeFiles/ablation_learned_alpha.dir/ablation_learned_alpha.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/ssr/common/time.h /usr/include/c++/12/limits \
  /root/repo/src/ssr/core/ssr_config.h /root/repo/src/ssr/sched/types.h \
- /root/repo/src/ssr/exp/scenario.h /root/repo/src/ssr/dag/job.h \
- /root/repo/src/ssr/common/distributions.h \
+ /root/repo/src/ssr/exp/sweep.h /root/repo/src/ssr/exp/scenario.h \
+ /root/repo/src/ssr/dag/job.h /root/repo/src/ssr/common/distributions.h \
  /root/repo/src/ssr/common/rng.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -252,15 +252,6 @@ bench/CMakeFiles/ablation_learned_alpha.dir/ablation_learned_alpha.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/ssr/metrics/collectors.h \
- /root/repo/src/ssr/sched/engine.h \
- /root/repo/src/ssr/sched/stage_runtime.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/ssr/sim/cluster.h /root/repo/src/ssr/common/check.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/ssr/sim/simulator.h /root/repo/src/ssr/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/ssr/workload/adjust.h \
  /root/repo/src/ssr/workload/mlbench.h \
  /root/repo/src/ssr/workload/tracegen.h

@@ -181,7 +181,6 @@ bench/CMakeFiles/fig13_fair_sharing_timeline.dir/fig13_fair_sharing_timeline.cpp
  /root/repo/src/ssr/common/time.h /usr/include/c++/12/limits \
  /root/repo/src/ssr/core/ssr_config.h /usr/include/c++/12/cstddef \
  /root/repo/src/ssr/sched/types.h /root/repo/src/ssr/exp/scenario.h \
- /root/repo/src/ssr/dag/job.h /root/repo/src/ssr/common/distributions.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -219,7 +218,8 @@ bench/CMakeFiles/fig13_fair_sharing_timeline.dir/fig13_fair_sharing_timeline.cpp
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/ssr/dag/job.h \
+ /root/repo/src/ssr/common/distributions.h \
  /root/repo/src/ssr/common/rng.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/ssr/common/distributions.cpp" "src/CMakeFiles/ssr_common.dir/ssr/common/distributions.cpp.o" "gcc" "src/CMakeFiles/ssr_common.dir/ssr/common/distributions.cpp.o.d"
   "/root/repo/src/ssr/common/stats.cpp" "src/CMakeFiles/ssr_common.dir/ssr/common/stats.cpp.o" "gcc" "src/CMakeFiles/ssr_common.dir/ssr/common/stats.cpp.o.d"
   "/root/repo/src/ssr/common/table.cpp" "src/CMakeFiles/ssr_common.dir/ssr/common/table.cpp.o" "gcc" "src/CMakeFiles/ssr_common.dir/ssr/common/table.cpp.o.d"
+  "/root/repo/src/ssr/common/thread_pool.cpp" "src/CMakeFiles/ssr_common.dir/ssr/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/ssr_common.dir/ssr/common/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ssr_common.dir/ssr/common/stats.cpp.o.d"
   "CMakeFiles/ssr_common.dir/ssr/common/table.cpp.o"
   "CMakeFiles/ssr_common.dir/ssr/common/table.cpp.o.d"
+  "CMakeFiles/ssr_common.dir/ssr/common/thread_pool.cpp.o"
+  "CMakeFiles/ssr_common.dir/ssr/common/thread_pool.cpp.o.d"
   "libssr_common.a"
   "libssr_common.pdb"
 )

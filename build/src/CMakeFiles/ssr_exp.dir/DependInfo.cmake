@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/ssr/exp/scenario.cpp" "src/CMakeFiles/ssr_exp.dir/ssr/exp/scenario.cpp.o" "gcc" "src/CMakeFiles/ssr_exp.dir/ssr/exp/scenario.cpp.o.d"
+  "/root/repo/src/ssr/exp/sweep.cpp" "src/CMakeFiles/ssr_exp.dir/ssr/exp/sweep.cpp.o" "gcc" "src/CMakeFiles/ssr_exp.dir/ssr/exp/sweep.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/ssr_exp.dir/ssr/exp/scenario.cpp.o"
   "CMakeFiles/ssr_exp.dir/ssr/exp/scenario.cpp.o.d"
+  "CMakeFiles/ssr_exp.dir/ssr/exp/sweep.cpp.o"
+  "CMakeFiles/ssr_exp.dir/ssr/exp/sweep.cpp.o.d"
   "libssr_exp.a"
   "libssr_exp.pdb"
 )

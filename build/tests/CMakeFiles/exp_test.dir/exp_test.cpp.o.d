@@ -293,11 +293,8 @@ tests/CMakeFiles/exp_test.dir/exp_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/ssr/common/check.h /root/repo/src/ssr/exp/scenario.h \
- /root/repo/src/ssr/core/ssr_config.h /root/repo/src/ssr/dag/job.h \
- /root/repo/src/ssr/common/distributions.h \
- /root/repo/src/ssr/common/rng.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -317,7 +314,11 @@ tests/CMakeFiles/exp_test.dir/exp_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/random \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/ssr/common/check.h /root/repo/src/ssr/exp/scenario.h \
+ /root/repo/src/ssr/core/ssr_config.h /root/repo/src/ssr/dag/job.h \
+ /root/repo/src/ssr/common/distributions.h \
+ /root/repo/src/ssr/common/rng.h /usr/include/c++/12/random \
  /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
@@ -328,4 +329,4 @@ tests/CMakeFiles/exp_test.dir/exp_test.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/ssr/common/time.h /root/repo/src/ssr/metrics/collectors.h \
- /root/repo/src/ssr/sched/types.h
+ /root/repo/src/ssr/sched/types.h /root/repo/src/ssr/exp/sweep.h

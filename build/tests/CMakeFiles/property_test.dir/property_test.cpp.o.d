@@ -329,7 +329,7 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/ssr/metrics/collectors.h \
+ /root/repo/src/ssr/metrics/collectors.h /root/repo/src/ssr/exp/sweep.h \
  /root/repo/src/ssr/sched/engine.h \
  /root/repo/src/ssr/sched/stage_runtime.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

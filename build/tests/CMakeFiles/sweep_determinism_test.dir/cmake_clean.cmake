@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_determinism_test.dir/sweep_determinism_test.cpp.o"
+  "CMakeFiles/sweep_determinism_test.dir/sweep_determinism_test.cpp.o.d"
+  "sweep_determinism_test"
+  "sweep_determinism_test.pdb"
+  "sweep_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/thread_pool_test.cpp" "tests/CMakeFiles/thread_pool_test.dir/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/thread_pool_test.dir/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

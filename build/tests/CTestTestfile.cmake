@@ -17,7 +17,9 @@ include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/resources_test[1]_include.cmake")
 include("/root/repo/build/tests/sched_engine_test[1]_include.cmake")
 include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_determinism_test[1]_include.cmake")
 include("/root/repo/build/tests/tail_learning_test[1]_include.cmake")
+include("/root/repo/build/tests/thread_pool_test[1]_include.cmake")
 include("/root/repo/build/tests/trace_export_test[1]_include.cmake")
 include("/root/repo/build/tests/workload_sweep_test[1]_include.cmake")
 include("/root/repo/build/tests/workload_test[1]_include.cmake")

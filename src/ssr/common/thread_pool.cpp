@@ -1,0 +1,42 @@
+#include "ssr/common/thread_pool.h"
+
+namespace ssr {
+
+ThreadPool::ThreadPool(unsigned num_workers) {
+  workers_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::uint64_t ThreadPool::tasks_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain before exiting: queued work submitted before destruction
+      // still runs (the destructor's contract).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the caller's future
+  }
+}
+
+}  // namespace ssr

@@ -1,0 +1,87 @@
+// Fixed-size worker thread pool.
+//
+// The sweep subsystem (ssr/exp/sweep.h) runs independent simulation trials
+// on this pool; each task owns its private Engine/Simulator, so the pool
+// needs no knowledge of the work beyond "a callable".  Results travel back
+// through std::future, which also carries exceptions out of workers.
+//
+// Semantics chosen for deterministic experiment execution:
+//  * submit() after shutdown began is a CheckError (programming error);
+//  * the destructor *drains* the queue — every task submitted before
+//    destruction runs to completion, then workers join — so dropping the
+//    pool never silently discards trials;
+//  * num_workers == 0 degenerates to inline execution on the calling
+//    thread (useful for debugging and the serial baseline).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "ssr/common/check.h"
+
+namespace ssr {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads; 0 means "run every task inline in
+  /// submit()" (no threads are created).
+  explicit ThreadPool(unsigned num_workers);
+
+  /// Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a callable; returns a future for its result.  An exception
+  /// thrown by the callable is captured and rethrown from future::get().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    if (workers_.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++submitted_;
+      }
+      (*task)();
+      return result;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SSR_CHECK_MSG(!stopping_, "submit() on a ThreadPool being destroyed");
+      ++submitted_;
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Number of worker threads (0 for the inline pool).
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// Tasks accepted over the pool's lifetime (queued + finished).
+  std::uint64_t tasks_submitted() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::uint64_t submitted_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ssr

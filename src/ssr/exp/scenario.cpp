@@ -35,9 +35,17 @@ RunResult run_scenario(const ClusterSpec& cluster, std::vector<JobSpec> jobs,
                        const RunOptions& options) {
   Engine engine(options.sched, cluster.nodes, cluster.slots_per_node,
                 options.seed);
-  if (options.ssr) {
-    engine.set_reservation_hook(
-        std::make_unique<ReservationManager>(*options.ssr));
+  const ReservationManager* manager = nullptr;
+  std::unique_ptr<ReservationHook> hook;
+  if (options.hook_factory) {
+    hook = options.hook_factory();
+  } else if (options.ssr) {
+    hook = std::make_unique<ReservationManager>(*options.ssr);
+  }
+  if (hook != nullptr) {
+    // The engine owns the hook; keep a typed view for metrics extraction.
+    manager = dynamic_cast<const ReservationManager*>(hook.get());
+    engine.set_reservation_hook(std::move(hook));
   }
   TaskStatsCollector task_stats;
   engine.add_observer(&task_stats);
@@ -71,6 +79,9 @@ RunResult run_scenario(const ClusterSpec& cluster, std::vector<JobSpec> jobs,
                 (result.makespan *
                  static_cast<double>(engine.cluster().num_slots()))
           : 0.0;
+  if (manager != nullptr) {
+    result.reservations_expired = manager->reservations_expired();
+  }
   result.task_totals = task_stats.totals();
   return result;
 }
@@ -83,15 +94,69 @@ double alone_jct(const ClusterSpec& cluster, JobSpec job,
   return r.jobs.front().jct;
 }
 
+namespace {
+
+// Strict numeric parsing: the whole argument must be consumed, so inputs
+// like "10x" or "" fail loudly instead of silently truncating.
+double parse_double_arg(const char* flag, const std::string& text) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  SSR_CHECK_MSG(consumed == text.size() && !text.empty(),
+                std::string(flag) + " expects a number, got '" + text + "'");
+  return value;
+}
+
+std::uint64_t parse_u64_arg(const char* flag, const std::string& text) {
+  SSR_CHECK_MSG(!text.empty() && text.find_first_not_of("0123456789") ==
+                                     std::string::npos,
+                std::string(flag) + " expects a non-negative integer, got '" +
+                    text + "'");
+  std::size_t consumed = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  SSR_CHECK_MSG(consumed == text.size(),
+                std::string(flag) + " value out of range: '" + text + "'");
+  return value;
+}
+
+}  // namespace
+
 BenchArgs BenchArgs::parse(int argc, char** argv) {
   BenchArgs args;
+  auto value_of = [&](int& i) -> std::string {
+    SSR_CHECK_MSG(i + 1 < argc,
+                  std::string(argv[i]) + " requires a value");
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
-      args.scale = std::stod(argv[++i]);
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      args.scale = parse_double_arg("--scale", value_of(i));
       args.scale_set = true;
       SSR_CHECK_MSG(args.scale >= 1.0, "--scale must be >= 1");
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      args.seed = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      args.seed = parse_u64_arg("--seed", value_of(i));
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      const std::uint64_t jobs = parse_u64_arg("--jobs", value_of(i));
+      SSR_CHECK_MSG(jobs >= 1, "--jobs must be >= 1");
+      SSR_CHECK_MSG(jobs <= 4096, "--jobs is implausibly large");
+      args.jobs = static_cast<unsigned>(jobs);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      args.csv = value_of(i);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      args.json = value_of(i);
+    } else {
+      SSR_CHECK_MSG(false, std::string("unknown argument '") + argv[i] +
+                               "' (expected --scale, --seed, --jobs, "
+                               "--csv, or --json)");
     }
   }
   return args;

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,12 +21,19 @@ namespace ssr {
 struct ClusterSpec {
   std::uint32_t nodes = 50;
   std::uint32_t slots_per_node = 2;  ///< the paper's m4.large: 2 executors
+
+  std::uint32_t total_slots() const { return nodes * slots_per_node; }
 };
 
 struct RunOptions {
   SchedConfig sched;
   /// Reservation policy; nullopt runs the naive work-conserving baseline.
   std::optional<SsrConfig> ssr;
+  /// Escape hatch for non-SSR reservation policies (static carve-outs,
+  /// timeout holds — see core/naive_policies.h).  When set it wins over
+  /// `ssr`.  A factory rather than an instance so one RunOptions can be
+  /// copied across many trials, each run owning a fresh hook.
+  std::function<std::unique_ptr<ReservationHook>()> hook_factory;
   std::uint64_t seed = 1;
 };
 
@@ -43,6 +52,9 @@ struct RunResult {
   double busy_time = 0.0;       ///< total busy slot-seconds
   double reserved_idle_time = 0.0;  ///< slot-seconds lost to reservations
   double utilization = 0.0;     ///< busy fraction over [0, makespan]
+  /// Reservations that expired at their deadline (0 unless the run used a
+  /// ReservationManager).
+  std::uint64_t reservations_expired = 0;
   JobTaskStats task_totals;
 
   /// JCT of the first job whose name matches exactly; throws if absent.
@@ -66,13 +78,19 @@ inline double slowdown(double measured_jct, double alone) {
   return measured_jct / alone;
 }
 
-/// Parse "--scale N" and "--seed S" style overrides from a bench's argv.
-/// scale divides workload sizes so CI machines can run the large-scale
-/// simulations faster; 1 reproduces the paper-scale setup.
+/// Parse "--scale N", "--seed S", "--jobs N", "--csv F", "--json F"
+/// overrides from a bench's argv.  scale divides workload sizes so CI
+/// machines can run the large-scale simulations faster; 1 reproduces the
+/// paper-scale setup.  jobs sets the sweep worker-pool size (0 = one worker
+/// per hardware core).  Malformed or out-of-range values and unknown flags
+/// throw CheckError with a message naming the offending argument.
 struct BenchArgs {
   double scale = 1.0;
   bool scale_set = false;  ///< whether --scale was passed explicitly
   std::uint64_t seed = 1;
+  unsigned jobs = 0;  ///< sweep workers; 0 = hardware_concurrency
+  std::string csv;    ///< when set, ported benches write per-trial rows here
+  std::string json;   ///< when set, ported benches write summary JSON here
 
   static BenchArgs parse(int argc, char** argv);
   /// value / scale, at least 1 (for counts).

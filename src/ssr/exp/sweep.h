@@ -1,0 +1,133 @@
+// Parallel sweep runner with deterministic replay.
+//
+// Every figure in the paper is a sweep over (scenario x seed x knob).  The
+// bench binaries used to run those trials serially; SweepRunner executes
+// them on a fixed-size ThreadPool instead.  Determinism is preserved by
+// construction:
+//  * each trial owns a private Engine/Simulator/Rng — no mutable state is
+//    shared between concurrently running trials;
+//  * per-trial seeds are fixed before execution starts (either taken from
+//    the trial's RunOptions or derived as splitmix64(base_seed, index)), so
+//    scheduling order of the workers cannot leak into any simulation;
+//  * results land in a pre-sized vector at the trial's grid index, so
+//    output order equals grid order regardless of completion order.
+// The guarantee — bit-identical RunResults for worker counts 1, N, and
+// repeated N — is locked in by tests/sweep_determinism_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ssr/exp/scenario.h"
+
+namespace ssr {
+
+/// Deterministic per-trial seed: a splitmix64 mix of the base seed and the
+/// trial's grid index.  Distinct indices give decorrelated streams; the
+/// mapping is a pure function, so replaying a sweep (or a single trial of
+/// it) never depends on worker count or completion order.
+std::uint64_t derive_trial_seed(std::uint64_t base_seed,
+                                std::uint64_t trial_index);
+
+/// One cell of a sweep grid: a complete scenario description.
+struct Trial {
+  ClusterSpec cluster;
+  std::vector<JobSpec> jobs;
+  RunOptions options;
+  /// Grouping key for summaries ("kmeans-alone", "sql/ssr", ...).
+  std::string label;
+  /// Free-form key/values copied into every emitted row (knob settings).
+  std::map<std::string, std::string> tags;
+};
+
+struct TrialResult {
+  std::size_t index = 0;  ///< position in the input grid
+  std::string label;
+  std::map<std::string, std::string> tags;
+  std::uint64_t seed = 0;  ///< effective engine seed of this trial
+  RunResult run;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 picks one per hardware core.
+  unsigned num_workers = 0;
+  /// When set, overrides every trial's options.seed with
+  /// derive_trial_seed(*base_seed, index).
+  std::optional<std::uint64_t> base_seed;
+};
+
+/// Mean / standard error / order statistics of one metric over a group.
+struct SummaryStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double sem = 0.0;  ///< standard error of the mean
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static SummaryStats of(const std::vector<double>& values);
+};
+
+/// Per-label aggregate over a sweep's results.  Built-in metrics: "jct"
+/// (one sample per job), "makespan" and "utilization" (one per trial).
+/// Benches insert derived metrics (e.g. "slowdown") before emission.
+struct GroupSummary {
+  std::string label;
+  std::size_t trials = 0;
+  std::map<std::string, SummaryStats> metrics;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Execute every trial; results are returned in grid order and are
+  /// bit-identical for any worker count.  The first trial exception (a
+  /// malformed JobSpec, say) is rethrown after in-flight trials finish.
+  std::vector<TrialResult> run(const std::vector<Trial>& grid) const;
+
+  /// Effective pool size (hardware_concurrency already resolved).
+  unsigned num_workers() const { return num_workers_; }
+
+ private:
+  SweepOptions options_;
+  unsigned num_workers_ = 1;
+};
+
+/// Group results by label, in first-appearance order.
+std::vector<GroupSummary> summarize(const std::vector<TrialResult>& results);
+
+/// One row per (trial, job): trial index, label, seed, "tag:<key>" columns
+/// (union of keys across the sweep, blank where absent), then per-job and
+/// per-trial metrics.
+void write_trials_csv(std::ostream& os,
+                      const std::vector<TrialResult>& results);
+
+/// One row per (label, metric) with the SummaryStats columns.
+void write_summary_csv(std::ostream& os,
+                       const std::vector<GroupSummary>& groups);
+
+/// JSON array of group objects: {"label", "trials", "metrics": {name:
+/// {n, mean, sem, p50, p95, p99, min, max}}}.
+void write_summary_json(std::ostream& os,
+                        const std::vector<GroupSummary>& groups);
+
+/// Honour a bench's --csv / --json flags: write per-trial rows and the
+/// label-level summary to the requested files (no-op for empty paths).
+void emit_sweep_outputs(const BenchArgs& args,
+                        const std::vector<TrialResult>& results);
+
+/// Pool sizing from a bench's --jobs flag (0 = all hardware cores).
+inline SweepOptions sweep_options(const BenchArgs& args) {
+  SweepOptions options;
+  options.num_workers = args.jobs;
+  return options;
+}
+
+}  // namespace ssr

@@ -9,6 +9,7 @@
 
 #include "ssr/core/reservation_manager.h"
 #include "ssr/exp/scenario.h"
+#include "ssr/exp/sweep.h"
 #include "ssr/sched/engine.h"
 #include "ssr/workload/mlbench.h"
 #include "ssr/workload/sqlbench.h"
@@ -229,6 +230,67 @@ TEST_P(ConservationProperty, BusyTimeEqualsExecutedWork) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConservationProperty,
                          ::testing::Range<std::uint64_t>(200, 215));
+
+class SweepAccountingProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SweepAccountingProperty, InvariantsHoldOverRandomizedTrials) {
+  // Run randomized contended scenarios through the parallel sweep runner and
+  // check the slot-time ledger on every RunResult it hands back:
+  //  * busy + reserved-idle slot-seconds can never exceed the cluster's
+  //    capacity over the run (total_slots x makespan);
+  //  * utilization is a fraction of that capacity, so it lives in [0, 1];
+  //  * no job finishes before it was submitted.
+  // These hold for the baseline, for SSR, and for the naive policies — the
+  // accounting is policy-independent.
+  const std::uint64_t seed = GetParam();
+  std::vector<Trial> grid;
+  for (const bool use_ssr : {false, true}) {
+    Trial t;
+    t.cluster = ClusterSpec{.nodes = 8, .slots_per_node = 2};
+    t.jobs = random_mix(seed);
+    if (use_ssr) {
+      SsrConfig cfg;
+      cfg.isolation_p = 0.25 + 0.15 * static_cast<double>(seed % 6);
+      cfg.enable_straggler_mitigation = (seed % 2) == 0;
+      t.options.ssr = cfg;
+    }
+    t.options.seed = seed;
+    t.label = use_ssr ? "ssr" : "baseline";
+    grid.push_back(std::move(t));
+  }
+  SweepOptions options;
+  options.num_workers = 2;
+  const SweepRunner runner(options);
+  const std::vector<TrialResult> results = runner.run(grid);
+  ASSERT_EQ(results.size(), grid.size());
+
+  for (const TrialResult& tr : results) {
+    const RunResult& r = tr.run;
+    const double capacity =
+        static_cast<double>(grid[tr.index].cluster.total_slots()) *
+        r.makespan;
+    EXPECT_GT(r.makespan, 0.0) << tr.label;
+    EXPECT_GE(r.busy_time, 0.0) << tr.label;
+    EXPECT_GE(r.reserved_idle_time, 0.0) << tr.label;
+    EXPECT_LE(r.busy_time + r.reserved_idle_time, capacity * (1.0 + 1e-9))
+        << tr.label << ": slot-time ledger exceeds cluster capacity";
+    EXPECT_GE(r.utilization, 0.0) << tr.label;
+    EXPECT_LE(r.utilization, 1.0 + 1e-9) << tr.label;
+    for (const JobResult& j : r.jobs) {
+      EXPECT_GE(j.finish, j.submit) << tr.label << " job " << j.name;
+      EXPECT_NEAR(j.jct, j.finish - j.submit, 1e-9) << tr.label;
+    }
+    // Baseline runs reserve nothing, so their ledger has no reserved-idle.
+    if (tr.label == "baseline") {
+      EXPECT_DOUBLE_EQ(r.reserved_idle_time, 0.0);
+      EXPECT_EQ(r.reservations_expired, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepAccountingProperty,
+                         ::testing::Range<std::uint64_t>(400, 412));
 
 TEST(ReservationProperty, StrictIsolationGivesBarrierContinuity) {
   // With SSR at P = 1 and stable parallelism, a foreground chain running

@@ -1,0 +1,120 @@
+// Tests for the fixed-size worker pool that backs the sweep subsystem.
+// The sweep's determinism guarantee only needs the pool to (a) run every
+// submitted task exactly once, (b) carry results and exceptions back through
+// futures, and (c) never drop queued work at shutdown; these tests pin each
+// of those properties plus the degenerate pool sizes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "ssr/common/check.h"
+#include "ssr/common/thread_pool.h"
+
+namespace ssr {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+
+  std::vector<std::future<int>> futures;
+  futures.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  long long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  // sum of squares 0..99
+  EXPECT_EQ(sum, 99LL * 100 * 199 / 6);
+  EXPECT_EQ(pool.tasks_submitted(), 100u);
+}
+
+TEST(ThreadPool, ResultsIndependentOfCompletionOrder) {
+  // Early tasks sleep longer than late ones, so completion order is roughly
+  // the reverse of submission order — yet each future still yields the value
+  // of *its* task.
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(pool.submit([i] {
+      std::this_thread::sleep_for(std::chrono::microseconds((12 - i) * 200));
+      return i;
+    }));
+  }
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task; subsequent work still runs.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  {
+    ThreadPool pool(1);
+    // Block the lone worker, then pile up queued tasks behind it.
+    pool.submit([open] { open.wait(); });
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&ran] { ++ran; });
+    }
+    EXPECT_LT(ran.load(), 20);
+    gate.set_value();
+    // Pool destroyed here with (most of) the queue still pending.
+  }
+  EXPECT_EQ(ran.load(), 20) << "destructor must drain, not discard";
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInlineOnCallingThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  const std::thread::id caller = std::this_thread::get_id();
+  auto f = pool.submit([caller] { return std::this_thread::get_id() == caller; });
+  // With no workers the task already ran inside submit().
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_TRUE(f.get());
+  EXPECT_EQ(pool.tasks_submitted(), 1u);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ManyMoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&ran] { ++ran; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 500);
+  EXPECT_EQ(pool.tasks_submitted(), 500u);
+}
+
+}  // namespace
+}  // namespace ssr
