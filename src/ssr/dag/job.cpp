@@ -15,8 +15,7 @@ JobGraph::JobGraph(JobId id, JobSpec spec) : id_(id), spec_(std::move(spec)) {
     SSR_CHECK_MSG(st.num_tasks > 0, "stage must have at least one task");
     SSR_CHECK_MSG(st.duration != nullptr, "stage needs a duration model");
     if (st.explicit_durations) {
-      SSR_CHECK_MSG(st.explicit_durations->size() == st.num_tasks,
-                    "explicit durations must match the degree of parallelism");
+      SSR_CHECK_EQ(st.explicit_durations->size(), st.num_tasks);
       for (double d : *st.explicit_durations) {
         SSR_CHECK_MSG(d > 0.0, "task durations must be positive");
       }

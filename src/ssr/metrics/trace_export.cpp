@@ -56,7 +56,7 @@ void TraceExporter::close_attempt(TaskId task, SlotId slot, SimTime at,
   auto it = open_.find(task);
   SSR_CHECK_MSG(it != open_.end(), "finish/kill for unknown attempt");
   Attempt& a = events_[it->second];
-  SSR_CHECK_MSG(a.slot == slot, "attempt finished on an unexpected slot");
+  SSR_CHECK_EQ(a.slot, slot);  // attempt must finish on its start slot
   a.end = at;
   a.killed = killed;
   open_.erase(it);

@@ -164,5 +164,60 @@ TEST(Check, MacrosThrowWithContext) {
   }
 }
 
+TEST(Check, MsgAcceptsStreamedExpressions) {
+  const int wanted = 3;
+  const int got = 7;
+  try {
+    SSR_CHECK_MSG(wanted == got, "wanted " << wanted << " but got " << got);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("wanted 3 but got 7"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Check, MsgStreamIsLazilyEvaluated) {
+  // The message chain must only run on failure; a passing check with a
+  // side-effecting message must not observe the side effect.
+  int calls = 0;
+  auto expensive = [&calls] {
+    ++calls;
+    return std::string("never shown");
+  };
+  SSR_CHECK_MSG(true, expensive());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Check, OpMacroPrintsBothOperands) {
+  const std::size_t lhs = 4;
+  try {
+    SSR_CHECK_EQ(lhs, 9u);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lhs == 9u"), std::string::npos) << what;
+    EXPECT_NE(what.find("operands were 4 == 9"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, OpMacroEvaluatesOperandsOnce) {
+  int evaluations = 0;
+  auto next = [&evaluations] { return ++evaluations; };
+  SSR_CHECK_LE(next(), 5);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, OpMacroVariantsPass) {
+  SSR_CHECK_EQ(2, 2);
+  SSR_CHECK_NE(2, 3);
+  SSR_CHECK_LT(2, 3);
+  SSR_CHECK_LE(3, 3);
+  SSR_CHECK_GT(4, 3);
+  SSR_CHECK_GE(4.0, 4.0);
+  EXPECT_THROW(SSR_CHECK_GT(1, 2), CheckError);
+  EXPECT_THROW(SSR_CHECK_NE(5, 5), CheckError);
+}
+
 }  // namespace
 }  // namespace ssr
