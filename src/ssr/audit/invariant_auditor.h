@@ -1,0 +1,101 @@
+// Runtime invariant auditor for the scheduling engine.
+//
+// InvariantAuditor attaches to an Engine through the EngineObserver seam and
+// validates, on every event, the state-machine invariants the paper states
+// informally (see DESIGN.md §7 for the invariant -> paper mapping):
+//
+//  * global slot conservation: idle + busy + reserved-idle == capacity, and
+//    the cluster's idle/reserved index sets agree with per-slot states;
+//  * the reserved-slot priority rule: a reserved slot is only ever taken by
+//    the reserving job or a strictly higher-priority job (Alg. 1);
+//  * reservation lifecycle legality: reserve -> {claim | expire-at-deadline |
+//    release}, never double-claim, never claim past the deadline 𝒟;
+//  * event-time monotonicity across the whole observer stream;
+//  * barrier ordering: no downstream-phase task starts before every upstream
+//    task finished;
+//  * slot-time accounting: the busy / reserved-idle slot-seconds the event
+//    stream implies (the same stream metrics/collectors consume) match the
+//    cluster's own accounting at end of run.
+//
+// Violations produce structured audit::Violation reports; with
+// `throw_on_violation` (the default, and what `-DSSR_AUDIT=ON` builds use via
+// run_scenario) the first violation throws ssr::CheckError so tests and
+// benches fail loudly at the offending event.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ssr/audit/slot_ledger.h"
+#include "ssr/audit/violation.h"
+#include "ssr/common/ids.h"
+#include "ssr/sched/types.h"
+
+namespace ssr::audit {
+
+struct AuditOptions {
+  /// Throw ssr::CheckError at the first violation (audited builds).  When
+  /// false the auditor only collects, which seeded-bug tests use to assert
+  /// on exact invariant ids.
+  bool throw_on_violation = true;
+
+  /// Absolute slack (slot-seconds) for the end-of-run accounting comparison;
+  /// scaled up with the magnitude of the compared totals to absorb float
+  /// accumulation error on long runs.
+  double accounting_tolerance = 1e-6;
+
+  /// Run the O(num_slots) cluster cross-check every Nth event (1 = every
+  /// event).  Lifecycle/priority/barrier checks always run on every event.
+  std::uint64_t cross_check_period = 1;
+};
+
+class InvariantAuditor : public EngineObserver {
+ public:
+  explicit InvariantAuditor(AuditOptions options = {});
+
+  /// Register with `engine` (non-owning; the auditor must outlive run()).
+  /// Must be called before Engine::run().
+  void attach(Engine& engine);
+
+  // --- EngineObserver -------------------------------------------------------
+  void on_job_submitted(const Engine&, JobId) override;
+  void on_job_finished(const Engine&, JobId) override;
+  void on_stage_submitted(const Engine&, StageId) override;
+  void on_stage_finished(const Engine&, StageId) override;
+  void on_task_started(const Engine&, TaskId, SlotId) override;
+  void on_task_finished(const Engine&, TaskId, SlotId) override;
+  void on_task_killed(const Engine&, TaskId, SlotId) override;
+  void on_slot_reserved(const Engine&, SlotId, const Reservation&) override;
+  void on_reservation_released(const Engine&, SlotId,
+                               ReservationEndReason) override;
+  void on_run_complete(const Engine&) override;
+
+  // --- Results --------------------------------------------------------------
+
+  bool clean() const { return violations().empty(); }
+  const std::vector<Violation>& violations() const;
+  /// Human-readable multi-line report; empty when clean.
+  std::string report() const { return format_report(violations()); }
+  std::uint64_t events_audited() const { return events_; }
+
+ private:
+  SlotLedger& ledger(const Engine& engine);
+  /// Conservation + mirror-vs-cluster checks, then the throw policy.
+  void after_event(const Engine& engine);
+  void cross_check(const Engine& engine);
+
+  AuditOptions options_;
+  std::optional<SlotLedger> ledger_;
+  std::uint64_t events_ = 0;
+  std::size_t reported_ = 0;  ///< violations already thrown for
+
+  // Slot-time accounting mirrors (indexed by slot id).
+  std::vector<SimTime> busy_since_;
+  std::vector<SimTime> reserved_since_;
+  double busy_seconds_ = 0.0;
+  double reserved_seconds_ = 0.0;
+};
+
+}  // namespace ssr::audit

@@ -1,0 +1,209 @@
+#include "ssr/audit/slot_ledger.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace ssr::audit {
+
+namespace {
+
+/// Reservation deadlines are absolute event times the engine itself
+/// scheduled, so expiry should land exactly on the deadline; the epsilon only
+/// absorbs decimal-literal rounding.
+constexpr double kDeadlineEps = 1e-9;
+
+template <typename T>
+std::string str(const T& value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+const char* state_name(LedgerSlotState s) {
+  switch (s) {
+    case LedgerSlotState::Idle:
+      return "Idle";
+    case LedgerSlotState::Busy:
+      return "Busy";
+    case LedgerSlotState::ReservedIdle:
+      return "ReservedIdle";
+  }
+  return "?";
+}
+
+}  // namespace
+
+SlotLedger::SlotLedger(std::uint32_t num_slots) : slots_(num_slots) {}
+
+SlotLedger::SlotMirror& SlotLedger::mirror(SlotId slot) {
+  return slots_.at(slot.v);
+}
+
+LedgerSlotState SlotLedger::slot_state(SlotId slot) const {
+  return slots_.at(slot.v).state;
+}
+
+void SlotLedger::flag(const char* invariant, SimTime now, std::string subject,
+                      std::string expected, std::string actual) {
+  violations_.push_back(Violation{invariant, now, std::move(subject),
+                                  std::move(expected), std::move(actual)});
+}
+
+void SlotLedger::record(Violation violation) {
+  violations_.push_back(std::move(violation));
+}
+
+void SlotLedger::touch(SimTime now) {
+  if (now < last_time_) {
+    flag(kTimeMonotonic, now, "clock", "time >= " + str(last_time_),
+         str(now));
+  }
+  last_time_ = std::max(last_time_, now);
+}
+
+void SlotLedger::check_stage_known(TaskId task, SimTime now) {
+  if (!submitted_stages_.contains(task.stage)) {
+    flag(kBarrierOrdering, now, str(task),
+         "task's stage submitted before any attempt starts",
+         "stage " + str(task.stage) + " never submitted");
+  }
+}
+
+void SlotLedger::on_reserve(SlotId slot, JobId job, int priority,
+                            SimTime deadline, SimTime now) {
+  touch(now);
+  SlotMirror& m = mirror(slot);
+  if (m.state != LedgerSlotState::Idle) {
+    flag(kDoubleReserve, now, str(slot), "Idle slot to reserve",
+         std::string(state_name(m.state)) +
+             (m.reservation ? " (reserved by " + str(m.reservation->job) + ")"
+                            : ""));
+  }
+  m.state = LedgerSlotState::ReservedIdle;
+  m.reservation = ReservationMirror{job, priority, deadline};
+  m.task.reset();
+}
+
+void SlotLedger::on_claim(SlotId slot, TaskId task, int priority,
+                          SimTime now) {
+  touch(now);
+  check_stage_known(task, now);
+  SlotMirror& m = mirror(slot);
+  if (m.state != LedgerSlotState::ReservedIdle || !m.reservation) {
+    flag(kDoubleClaim, now, str(slot),
+         "an active reservation to claim for " + str(task),
+         std::string(state_name(m.state)) + " with no active reservation");
+  } else {
+    const ReservationMirror& res = *m.reservation;
+    if (task.stage.job != res.job && priority <= res.priority) {
+      flag(kReservedSlotPriority, now, str(task),
+           "claim by " + str(res.job) + " or priority > " + str(res.priority),
+           str(task.stage.job) + " with priority " + str(priority));
+    }
+    if (now > res.deadline + kDeadlineEps) {
+      flag(kExpiredClaim, now, str(task),
+           "claim at or before deadline " + str(res.deadline), str(now));
+    }
+  }
+  m.state = LedgerSlotState::Busy;
+  m.reservation.reset();
+  m.task = task;
+}
+
+void SlotLedger::on_start(SlotId slot, TaskId task, SimTime now) {
+  touch(now);
+  check_stage_known(task, now);
+  SlotMirror& m = mirror(slot);
+  if (m.state == LedgerSlotState::Busy) {
+    flag(kTaskLifecycle, now, str(task), "an idle slot to start on",
+         str(slot) + " already running " +
+             (m.task ? str(*m.task) : std::string("?")));
+  } else if (m.state == LedgerSlotState::ReservedIdle) {
+    // The caller routed a reserved-slot start through on_start instead of
+    // on_claim: the reservation is being consumed without claim validation.
+    flag(kTaskLifecycle, now, str(task),
+         "reserved slot consumed via a claim", "plain start on " + str(slot));
+  }
+  m.state = LedgerSlotState::Busy;
+  m.reservation.reset();
+  m.task = task;
+}
+
+void SlotLedger::on_finish(SlotId slot, TaskId task, SimTime now) {
+  touch(now);
+  SlotMirror& m = mirror(slot);
+  if (m.state != LedgerSlotState::Busy || m.task != task) {
+    flag(kTaskLifecycle, now, str(task),
+         "finish of the task running on " + str(slot),
+         m.task ? str(*m.task) + " running" : "slot not busy");
+  }
+  m.state = LedgerSlotState::Idle;
+  m.reservation.reset();
+  m.task.reset();
+}
+
+void SlotLedger::on_kill(SlotId slot, TaskId task, SimTime now) {
+  touch(now);
+  SlotMirror& m = mirror(slot);
+  if (m.state != LedgerSlotState::Busy || m.task != task) {
+    flag(kTaskLifecycle, now, str(task),
+         "kill of the task running on " + str(slot),
+         m.task ? str(*m.task) + " running" : "slot not busy");
+  }
+  m.state = LedgerSlotState::Idle;
+  m.reservation.reset();
+  m.task.reset();
+}
+
+void SlotLedger::on_release(SlotId slot, LedgerRelease kind, SimTime now) {
+  touch(now);
+  SlotMirror& m = mirror(slot);
+  if (m.state != LedgerSlotState::ReservedIdle || !m.reservation) {
+    flag(kDoubleRelease, now, str(slot), "an active reservation to release",
+         std::string(state_name(m.state)) + " with no active reservation");
+  } else if (kind == LedgerRelease::Expired) {
+    const SimTime deadline = m.reservation->deadline;
+    if (deadline >= kTimeInfinity) {
+      flag(kExpiryTime, now, str(slot),
+           "no expiry (reservation has no deadline)", "expired at " + str(now));
+    } else if (std::abs(now - deadline) > kDeadlineEps) {
+      flag(kExpiryTime, now, str(slot), "expiry exactly at " + str(deadline),
+           str(now));
+    }
+  }
+  m.state = LedgerSlotState::Idle;
+  m.reservation.reset();
+  m.task.reset();
+}
+
+void SlotLedger::on_stage_submitted(StageId stage,
+                                    const std::vector<StageId>& parents,
+                                    SimTime now) {
+  touch(now);
+  if (!submitted_stages_.insert(stage).second) {
+    flag(kBarrierOrdering, now, str(stage), "a single submission",
+         "stage submitted twice");
+  }
+  for (StageId parent : parents) {
+    if (!finished_stages_.contains(parent)) {
+      flag(kBarrierOrdering, now, str(stage),
+           "all upstream tasks finished before the barrier clears",
+           "parent " + str(parent) + " unfinished");
+    }
+  }
+}
+
+void SlotLedger::on_stage_finished(StageId stage, SimTime now) {
+  touch(now);
+  if (!submitted_stages_.contains(stage)) {
+    flag(kBarrierOrdering, now, str(stage), "finish of a submitted stage",
+         "stage never submitted");
+  }
+  if (!finished_stages_.insert(stage).second) {
+    flag(kBarrierOrdering, now, str(stage), "a single completion",
+         "stage finished twice");
+  }
+}
+
+}  // namespace ssr::audit

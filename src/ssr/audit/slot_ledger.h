@@ -1,0 +1,106 @@
+// Pure event-stream invariant checker for the slot / reservation / barrier
+// state machines.
+//
+// SlotLedger replays scheduler events against its own mirror of the cluster
+// and records a Violation for every transition the paper's model forbids:
+// reservations may only be placed on idle slots, claimed by the reserving job
+// or a strictly higher priority, and must end exactly at their deadline;
+// tasks may only start after their stage's barrier cleared; event time never
+// moves backwards.  It is deliberately independent of Engine/Cluster so
+// seeded-bug tests can feed illegal sequences directly and assert the exact
+// invariant id; InvariantAuditor adapts live engine callbacks onto it and
+// adds the cluster cross-checks a mirror alone cannot do.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ssr/audit/violation.h"
+#include "ssr/common/ids.h"
+#include "ssr/common/time.h"
+
+namespace ssr::audit {
+
+/// Mirror of a slot's state (kept separate from ssr::SlotState so the ledger
+/// never depends on sim/cluster headers).
+enum class LedgerSlotState { Idle, Busy, ReservedIdle };
+
+/// How a reservation ended without being claimed.
+enum class LedgerRelease { Expired, Released };
+
+class SlotLedger {
+ public:
+  explicit SlotLedger(std::uint32_t num_slots);
+
+  // --- Events ---------------------------------------------------------------
+  // Each call validates the transition, records violations, and then applies
+  // the transition best-effort so one bug does not cascade into dozens of
+  // spurious reports.
+
+  /// Idle -> ReservedIdle on behalf of `job` with inherited `priority`.
+  void on_reserve(SlotId slot, JobId job, int priority, SimTime deadline,
+                  SimTime now);
+
+  /// A task starts on a slot the ledger knows is reserved: validates the
+  /// Algorithm-1 priority rule and the deadline.
+  void on_claim(SlotId slot, TaskId task, int priority, SimTime now);
+
+  /// A task starts on an unreserved slot.
+  void on_start(SlotId slot, TaskId task, SimTime now);
+
+  void on_finish(SlotId slot, TaskId task, SimTime now);
+  void on_kill(SlotId slot, TaskId task, SimTime now);
+
+  /// ReservedIdle -> Idle without a claim (expiry or explicit release).
+  void on_release(SlotId slot, LedgerRelease kind, SimTime now);
+
+  /// Barrier tracking: `parents` must all be finished when `stage` is
+  /// submitted; tasks may only start for submitted stages.
+  void on_stage_submitted(StageId stage, const std::vector<StageId>& parents,
+                          SimTime now);
+  void on_stage_finished(StageId stage, SimTime now);
+
+  // --- Inspection -----------------------------------------------------------
+
+  std::uint32_t num_slots() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  LedgerSlotState slot_state(SlotId slot) const;
+
+  bool clean() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// Append an externally-detected violation (the adapter's cluster
+  /// cross-checks report through the same list as event checks).
+  void record(Violation violation);
+
+ private:
+  struct ReservationMirror {
+    JobId job;
+    int priority = 0;
+    SimTime deadline = kTimeInfinity;
+  };
+  struct SlotMirror {
+    LedgerSlotState state = LedgerSlotState::Idle;
+    std::optional<ReservationMirror> reservation;
+    std::optional<TaskId> task;
+  };
+
+  SlotMirror& mirror(SlotId slot);
+  void flag(const char* invariant, SimTime now, std::string subject,
+            std::string expected, std::string actual);
+  /// Monotonic-clock check shared by every event.
+  void touch(SimTime now);
+  void check_stage_known(TaskId task, SimTime now);
+
+  std::vector<SlotMirror> slots_;
+  std::set<StageId> submitted_stages_;
+  std::set<StageId> finished_stages_;
+  SimTime last_time_ = kTimeZero;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace ssr::audit

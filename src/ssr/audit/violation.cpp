@@ -1,0 +1,29 @@
+#include "ssr/audit/violation.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace ssr::audit {
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Violation& v) {
+  os << "[" << v.invariant << "] t=" << v.time << " " << v.subject
+     << ": expected " << v.expected << ", actual " << v.actual;
+  return os;
+}
+
+std::string format_report(const std::vector<Violation>& violations) {
+  if (violations.empty()) return "";
+  std::ostringstream os;
+  os << violations.size() << " invariant violation"
+     << (violations.size() == 1 ? "" : "s") << ":";
+  for (const Violation& v : violations) os << "\n  " << v;
+  return os.str();
+}
+
+}  // namespace ssr::audit

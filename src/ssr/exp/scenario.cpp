@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "ssr/audit/invariant_auditor.h"
 #include "ssr/common/check.h"
 #include "ssr/core/reservation_manager.h"
 #include "ssr/sched/engine.h"
@@ -15,7 +16,7 @@ double RunResult::jct_of(const std::string& name) const {
   for (const JobResult& j : jobs) {
     if (j.name == name) return j.jct;
   }
-  SSR_CHECK_MSG(false, "no job named " + name);
+  SSR_CHECK_MSG(false, "no job named " << name);
   return 0.0;
 }
 
@@ -49,6 +50,13 @@ RunResult run_scenario(const ClusterSpec& cluster, std::vector<JobSpec> jobs,
   }
   TaskStatsCollector task_stats;
   engine.add_observer(&task_stats);
+
+#if defined(SSR_AUDIT_ENABLED)
+  // -DSSR_AUDIT=ON: every scenario run (each test case and bench/sweep
+  // trial) is audited; the first invariant violation throws CheckError.
+  audit::InvariantAuditor auditor;
+  auditor.attach(engine);
+#endif
 
   std::vector<JobId> ids;
   ids.reserve(jobs.size());
@@ -107,15 +115,15 @@ double parse_double_arg(const char* flag, const std::string& text) {
     consumed = 0;
   }
   SSR_CHECK_MSG(consumed == text.size() && !text.empty(),
-                std::string(flag) + " expects a number, got '" + text + "'");
+                flag << " expects a number, got '" << text << "'");
   return value;
 }
 
 std::uint64_t parse_u64_arg(const char* flag, const std::string& text) {
   SSR_CHECK_MSG(!text.empty() && text.find_first_not_of("0123456789") ==
                                      std::string::npos,
-                std::string(flag) + " expects a non-negative integer, got '" +
-                    text + "'");
+                flag << " expects a non-negative integer, got '" << text
+                     << "'");
   std::size_t consumed = 0;
   std::uint64_t value = 0;
   try {
@@ -124,7 +132,7 @@ std::uint64_t parse_u64_arg(const char* flag, const std::string& text) {
     consumed = 0;
   }
   SSR_CHECK_MSG(consumed == text.size(),
-                std::string(flag) + " value out of range: '" + text + "'");
+                flag << " value out of range: '" << text << "'");
   return value;
 }
 
@@ -133,8 +141,7 @@ std::uint64_t parse_u64_arg(const char* flag, const std::string& text) {
 BenchArgs BenchArgs::parse(int argc, char** argv) {
   BenchArgs args;
   auto value_of = [&](int& i) -> std::string {
-    SSR_CHECK_MSG(i + 1 < argc,
-                  std::string(argv[i]) + " requires a value");
+    SSR_CHECK_MSG(i + 1 < argc, argv[i] << " requires a value");
     return argv[++i];
   };
   for (int i = 1; i < argc; ++i) {
@@ -154,9 +161,10 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--json") == 0) {
       args.json = value_of(i);
     } else {
-      SSR_CHECK_MSG(false, std::string("unknown argument '") + argv[i] +
-                               "' (expected --scale, --seed, --jobs, "
-                               "--csv, or --json)");
+      SSR_CHECK_MSG(false, "unknown argument '"
+                               << argv[i]
+                               << "' (expected --scale, --seed, --jobs, "
+                                  "--csv, or --json)");
     }
   }
   return args;

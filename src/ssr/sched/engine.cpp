@@ -91,14 +91,14 @@ void Engine::run() {
   sim_.run();
   cluster_.settle(sim_.now());
   for (const auto& job : jobs_) {
-    if (!job->done()) {
-      std::ostringstream os;
-      os << "simulation wedged: " << job->graph.name() << " ("
-         << job->graph.id() << ") has " << job->finished_stages << "/"
-         << job->graph.num_stages() << " stages finished";
-      SSR_CHECK_MSG(false, os.str());
-    }
+    SSR_CHECK_MSG(job->done(), "simulation wedged: "
+                                   << job->graph.name() << " ("
+                                   << job->graph.id() << ") has "
+                                   << job->finished_stages << "/"
+                                   << job->graph.num_stages()
+                                   << " stages finished");
   }
+  for (EngineObserver* o : observers_) o->on_run_complete(*this);
 }
 
 const JobGraph& Engine::graph(JobId job) const { return state(job).graph; }
@@ -335,8 +335,11 @@ void Engine::start_attempt(StageRuntime& stage, TaskAttempt& attempt,
   stage.mark_running(attempt, slot, sim_.now(), local);
   ++js.running_tasks;
 
-  hook_->on_task_started(*this, attempt.id, slot);
+  // Passive observers see the event stream in cluster-transition order, so
+  // they are notified before the hook, whose handler may itself transition
+  // slots (reserve, release) and emit further observer events.
   for (EngineObserver* o : observers_) o->on_task_started(*this, attempt.id, slot);
+  hook_->on_task_started(*this, attempt.id, slot);
 
   sim_.schedule_after(runtime, [this, sid = stage.id(), tid = attempt.id] {
     handle_completion(sid, tid);
@@ -375,6 +378,12 @@ void Engine::handle_completion(StageId stage_id, TaskId task) {
   --js.running_tasks;
   cluster_.finish_task(attempt->slot, sim_.now());
   stage_output_slots_[stage_id].push_back(attempt->slot);
+  // Observers must see the finish before the twin kill and before the hook
+  // (which may immediately reserve the freed slot) — same ordering rule as
+  // in start_attempt.
+  for (EngineObserver* o : observers_) {
+    o->on_task_finished(*this, task, attempt->slot);
+  }
 
   // First finisher wins the race (Sec. IV-C): kill the twin attempt.
   TaskAttempt* twin = nullptr;
@@ -387,9 +396,6 @@ void Engine::handle_completion(StageId stage_id, TaskId task) {
   if (twin != nullptr) kill_attempt(*stage, *twin);
 
   hook_->on_task_finished(*this, make_finish_info(*stage, *attempt));
-  for (EngineObserver* o : observers_) {
-    o->on_task_finished(*this, task, attempt->slot);
-  }
 
   if (stage->complete()) on_stage_complete(*stage);
 
@@ -416,10 +422,18 @@ void Engine::kill_attempt(StageRuntime& stage, TaskAttempt& attempt) {
 
 void Engine::reserve_slot(SlotId slot, Reservation reservation) {
   const SimTime deadline = reservation.deadline;
-  const std::uint64_t token = cluster_.reserve(slot, reservation, sim_.now());
+  reservation.token = cluster_.reserve(slot, reservation, sim_.now());
+  const std::uint64_t token = reservation.token;
+  for (EngineObserver* o : observers_) {
+    o->on_slot_reserved(*this, slot, reservation);
+  }
   if (deadline < kTimeInfinity) {
     sim_.schedule_at(deadline, [this, slot, token] {
       if (cluster_.release_if_current(slot, token, sim_.now())) {
+        for (EngineObserver* o : observers_) {
+          o->on_reservation_released(*this, slot,
+                                     ReservationEndReason::Expired);
+        }
         hook_->on_slot_idle(*this, slot);
         if (cluster_.slot(slot).state() == SlotState::Idle) offer_slot(slot);
       }
@@ -431,6 +445,9 @@ void Engine::reserve_slot(SlotId slot, Reservation reservation) {
 
 void Engine::release_reservation(SlotId slot) {
   cluster_.release_reservation(slot, sim_.now());
+  for (EngineObserver* o : observers_) {
+    o->on_reservation_released(*this, slot, ReservationEndReason::Released);
+  }
   hook_->on_slot_idle(*this, slot);
   if (cluster_.slot(slot).state() == SlotState::Idle) offer_slot(slot);
 }

@@ -16,6 +16,16 @@
 namespace ssr {
 
 class Engine;
+struct Reservation;
+
+/// Why a reservation stopped being active.  A reservation consumed by a task
+/// start ("claimed") is not reported through on_reservation_released — the
+/// on_task_started callback that fires for the claiming attempt is the
+/// release notification in that case.
+enum class ReservationEndReason {
+  Expired,   ///< Deadline event fired with the reservation still current.
+  Released,  ///< Policy released it (fully placed, job finished, override).
+};
 
 /// How the scheduler orders task sets when offering slots.
 enum class SchedulingPolicy {
@@ -102,8 +112,11 @@ class ReservationHook {
   virtual void on_job_finished(Engine& engine, JobId job) = 0;
 };
 
-/// Passive observer for metrics collection.  All callbacks fire at the
-/// simulated instant the event occurs.
+/// Passive observer for metrics collection and auditing.  All callbacks fire
+/// at the simulated instant the event occurs, after the cluster state
+/// transition they describe has been applied (so observers see the
+/// post-event state).  This is the audit seam: metrics/collectors and
+/// audit/InvariantAuditor both attach here, parallel to ReservationHook.
 class EngineObserver {
  public:
   virtual ~EngineObserver() = default;
@@ -115,6 +128,16 @@ class EngineObserver {
   virtual void on_task_started(const Engine&, TaskId, SlotId) {}
   virtual void on_task_finished(const Engine&, TaskId, SlotId) {}
   virtual void on_task_killed(const Engine&, TaskId, SlotId) {}
+
+  /// A slot moved Idle -> ReservedIdle.  `reservation.token` is already the
+  /// cluster-assigned generation token.
+  virtual void on_slot_reserved(const Engine&, SlotId, const Reservation&) {}
+  /// A slot moved ReservedIdle -> Idle without being claimed by a task.
+  virtual void on_reservation_released(const Engine&, SlotId,
+                                       ReservationEndReason) {}
+  /// run() finished: every job done, clock settled.  End-of-run accounting
+  /// checks (slot-time conservation) hang off this callback.
+  virtual void on_run_complete(const Engine&) {}
 };
 
 }  // namespace ssr

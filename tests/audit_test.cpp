@@ -1,0 +1,429 @@
+// Invariant auditor: seeded-bug coverage (every audited invariant must be
+// caught, by exact id, when the corresponding illegal mutation happens) and
+// no-false-positive coverage (full fig12/fig14-style scenarios run clean
+// under audit).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ssr/audit/invariant_auditor.h"
+#include "ssr/audit/slot_ledger.h"
+#include "ssr/common/check.h"
+#include "ssr/core/reservation_manager.h"
+#include "ssr/exp/scenario.h"
+#include "ssr/sched/engine.h"
+#include "ssr/workload/mlbench.h"
+#include "ssr/workload/sqlbench.h"
+#include "ssr/workload/tracegen.h"
+
+namespace ssr {
+namespace {
+
+using audit::AuditOptions;
+using audit::InvariantAuditor;
+using audit::LedgerRelease;
+using audit::SlotLedger;
+using audit::Violation;
+
+// --- Helpers ----------------------------------------------------------------
+
+std::vector<std::string> ids_of(const std::vector<Violation>& violations) {
+  std::vector<std::string> ids;
+  ids.reserve(violations.size());
+  for (const Violation& v : violations) ids.push_back(v.invariant);
+  return ids;
+}
+
+bool has_id(const std::vector<Violation>& violations, const char* id) {
+  return std::any_of(violations.begin(), violations.end(),
+                     [id](const Violation& v) { return v.invariant == id; });
+}
+
+AuditOptions collect_options() {
+  AuditOptions o;
+  o.throw_on_violation = false;
+  return o;
+}
+
+constexpr JobId kJobA{0};
+constexpr JobId kJobB{1};
+constexpr StageId kStageA0{kJobA, 0};
+constexpr StageId kStageB0{kJobB, 0};
+constexpr SlotId kSlot0{0};
+
+TaskId task_of(StageId stage, std::uint32_t index, std::uint32_t attempt = 0) {
+  return TaskId{stage, index, attempt};
+}
+
+// --- Seeded bugs, ledger level ----------------------------------------------
+// Each test feeds one illegal event sequence and asserts the exact
+// invariant id; a distinct id per failure mode is the auditor's contract.
+
+TEST(SlotLedgerSeededBug, DoubleReserveIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_reserve(kSlot0, kJobA, 10, kTimeInfinity, 1.0);
+  ledger.on_reserve(kSlot0, kJobB, 5, kTimeInfinity, 2.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kDoubleReserve});
+}
+
+TEST(SlotLedgerSeededBug, ClaimWithoutReservationIsDoubleClaim) {
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageA0, {}, 0.0);
+  ledger.on_claim(kSlot0, task_of(kStageA0, 0), 10, 1.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kDoubleClaim});
+}
+
+TEST(SlotLedgerSeededBug, ClaimAfterFirstClaimIsDoubleClaim) {
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageA0, {}, 0.0);
+  ledger.on_reserve(kSlot0, kJobA, 10, kTimeInfinity, 1.0);
+  ledger.on_claim(kSlot0, task_of(kStageA0, 0), 10, 2.0);
+  ASSERT_TRUE(ledger.clean());
+  ledger.on_claim(kSlot0, task_of(kStageA0, 1), 10, 3.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kDoubleClaim});
+}
+
+TEST(SlotLedgerSeededBug, ClaimPastDeadlineIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageA0, {}, 0.0);
+  ledger.on_reserve(kSlot0, kJobA, 10, /*deadline=*/5.0, 1.0);
+  ledger.on_claim(kSlot0, task_of(kStageA0, 0), 10, 6.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kExpiredClaim});
+}
+
+TEST(SlotLedgerSeededBug, LowerPriorityStealIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageB0, {}, 0.0);
+  ledger.on_reserve(kSlot0, kJobA, 10, kTimeInfinity, 1.0);
+  ledger.on_claim(kSlot0, task_of(kStageB0, 0), /*priority=*/5, 2.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kReservedSlotPriority});
+}
+
+TEST(SlotLedgerSeededBug, EqualPriorityStealIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageB0, {}, 0.0);
+  ledger.on_reserve(kSlot0, kJobA, 10, kTimeInfinity, 1.0);
+  ledger.on_claim(kSlot0, task_of(kStageB0, 0), /*priority=*/10, 2.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kReservedSlotPriority});
+}
+
+TEST(SlotLedgerSeededBug, ReservingJobAndHigherPriorityMayClaim) {
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageA0, {}, 0.0);
+  ledger.on_stage_submitted(kStageB0, {}, 0.0);
+  // The reserving job itself.
+  ledger.on_reserve(kSlot0, kJobA, 10, kTimeInfinity, 1.0);
+  ledger.on_claim(kSlot0, task_of(kStageA0, 0), 10, 2.0);
+  ledger.on_finish(kSlot0, task_of(kStageA0, 0), 3.0);
+  // A strictly higher-priority foreign job (override).
+  ledger.on_reserve(kSlot0, kJobB, 5, kTimeInfinity, 4.0);
+  ledger.on_claim(kSlot0, task_of(kStageA0, 1), /*priority=*/10, 5.0);
+  EXPECT_TRUE(ledger.clean()) << audit::format_report(ledger.violations());
+}
+
+TEST(SlotLedgerSeededBug, OutOfOrderEventDispatchIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageA0, {}, 0.0);
+  ledger.on_start(kSlot0, task_of(kStageA0, 0), 10.0);
+  // The finish event is dispatched with a timestamp in the past.
+  ledger.on_finish(kSlot0, task_of(kStageA0, 0), 9.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kTimeMonotonic});
+}
+
+TEST(SlotLedgerSeededBug, StageSubmittedBeforeParentFinishes) {
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageA0, {}, 0.0);
+  // Downstream stage's barrier "clears" while the parent is still running.
+  ledger.on_stage_submitted(StageId{kJobA, 1}, {kStageA0}, 1.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kBarrierOrdering});
+}
+
+TEST(SlotLedgerSeededBug, TaskOfUnsubmittedStageIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_start(kSlot0, task_of(kStageA0, 0), 1.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kBarrierOrdering});
+}
+
+TEST(SlotLedgerSeededBug, DoubleStartOnBusySlotIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageA0, {}, 0.0);
+  ledger.on_start(kSlot0, task_of(kStageA0, 0), 1.0);
+  ledger.on_start(kSlot0, task_of(kStageA0, 1), 2.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kTaskLifecycle});
+}
+
+TEST(SlotLedgerSeededBug, FinishOfTaskNotOnSlotIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageA0, {}, 0.0);
+  ledger.on_start(kSlot0, task_of(kStageA0, 0), 1.0);
+  ledger.on_finish(kSlot0, task_of(kStageA0, 1), 2.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kTaskLifecycle});
+}
+
+TEST(SlotLedgerSeededBug, DoubleReleaseIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_reserve(kSlot0, kJobA, 10, kTimeInfinity, 1.0);
+  ledger.on_release(kSlot0, LedgerRelease::Released, 2.0);
+  ledger.on_release(kSlot0, LedgerRelease::Released, 3.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kDoubleRelease});
+}
+
+TEST(SlotLedgerSeededBug, EarlyExpiryIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_reserve(kSlot0, kJobA, 10, /*deadline=*/10.0, 1.0);
+  ledger.on_release(kSlot0, LedgerRelease::Expired, 7.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kExpiryTime});
+}
+
+TEST(SlotLedgerSeededBug, ExpiryExactlyAtDeadlineIsClean) {
+  SlotLedger ledger(2);
+  ledger.on_reserve(kSlot0, kJobA, 10, /*deadline=*/10.0, 1.0);
+  ledger.on_release(kSlot0, LedgerRelease::Expired, 10.0);
+  EXPECT_TRUE(ledger.clean()) << audit::format_report(ledger.violations());
+}
+
+TEST(SlotLedgerSeededBug, CleanLifecycleHasNoViolations) {
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageA0, {}, 0.0);
+  ledger.on_start(kSlot0, task_of(kStageA0, 0), 0.0);
+  ledger.on_start(SlotId{1}, task_of(kStageA0, 1), 0.0);
+  ledger.on_finish(kSlot0, task_of(kStageA0, 0), 4.0);
+  ledger.on_reserve(kSlot0, kJobA, 10, 20.0, 4.0);
+  ledger.on_finish(SlotId{1}, task_of(kStageA0, 1), 5.0);
+  ledger.on_stage_finished(kStageA0, 5.0);
+  ledger.on_stage_submitted(StageId{kJobA, 1}, {kStageA0}, 5.0);
+  ledger.on_claim(kSlot0, task_of(StageId{kJobA, 1}, 0), 10, 5.0);
+  ledger.on_finish(kSlot0, task_of(StageId{kJobA, 1}, 0), 9.0);
+  ledger.on_stage_finished(StageId{kJobA, 1}, 9.0);
+  EXPECT_TRUE(ledger.clean()) << audit::format_report(ledger.violations());
+}
+
+// --- Seeded bugs, end-to-end through the engine -----------------------------
+
+/// A buggy reservation policy: reserves every freed slot for the finishing
+/// job but approves *every* allocation, so lower-priority jobs steal
+/// reserved slots — exactly the Alg. 1 violation the auditor must catch.
+class ApproveAnythingHook : public ReservationHook {
+ public:
+  void on_task_finished(Engine& engine, const TaskFinishInfo& info) override {
+    Reservation r;
+    r.job = info.task.stage.job;
+    r.priority = engine.graph(r.job).priority();
+    r.for_stage = info.task.stage;
+    engine.reserve_slot(info.slot, r);
+  }
+  void on_task_killed(Engine&, const TaskFinishInfo&) override {}
+  void on_slot_idle(Engine&, SlotId) override {}
+  bool approve(const Engine&, SlotId, JobId, int) const override {
+    return true;  // the bug: ignores reservations entirely
+  }
+  void on_stage_submitted(Engine&, StageId) override {}
+  void on_stage_fully_placed(Engine&, StageId) override {}
+  void on_task_started(Engine&, TaskId, SlotId) override {}
+  void on_job_finished(Engine&, JobId) override {}
+};
+
+JobSpec one_stage_job(const std::string& name, int priority,
+                      std::uint32_t tasks, double duration) {
+  JobSpec spec;
+  spec.name = name;
+  spec.priority = priority;
+  StageSpec stage;
+  stage.num_tasks = tasks;
+  stage.duration = fixed_duration(duration);
+  stage.explicit_durations = std::vector<double>(tasks, duration);
+  spec.stages.push_back(std::move(stage));
+  return spec;
+}
+
+TEST(InvariantAuditorSeededBug, LowerPriorityStealOfReservedSlotIsCaught) {
+  Engine engine(SchedConfig{}, /*num_nodes=*/1, /*slots_per_node=*/1,
+                /*seed=*/1);
+  engine.set_reservation_hook(std::make_unique<ApproveAnythingHook>());
+  InvariantAuditor auditor(collect_options());
+  auditor.attach(engine);
+
+  engine.submit(one_stage_job("fg", /*priority=*/10, 1, 5.0));
+  engine.submit(one_stage_job("bg", /*priority=*/0, 1, 20.0));
+  engine.run();
+
+  // At t=5 the buggy hook reserves the freed slot for the finished
+  // high-priority job, then approves the low-priority job's task on it.
+  ASSERT_TRUE(has_id(auditor.violations(), audit::kReservedSlotPriority))
+      << auditor.report();
+}
+
+TEST(InvariantAuditorSeededBug, ThrowModeRaisesCheckErrorAtTheViolation) {
+  Engine engine(SchedConfig{}, 1, 1, 1);
+  engine.set_reservation_hook(std::make_unique<ApproveAnythingHook>());
+  InvariantAuditor auditor;  // default: throw_on_violation
+  auditor.attach(engine);
+
+  engine.submit(one_stage_job("fg", 10, 1, 5.0));
+  engine.submit(one_stage_job("bg", 0, 1, 20.0));
+  try {
+    engine.run();
+    FAIL() << "expected CheckError from the audited run";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find(audit::kReservedSlotPriority),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(InvariantAuditorSeededBug, MirrorVsClusterDivergenceIsCaught) {
+  Engine engine(SchedConfig{}, 1, 2, 1);
+  InvariantAuditor auditor(collect_options());
+  auditor.attach(engine);
+
+  // Inject a reservation event that never happened in the cluster: the
+  // auditor's mirror now says ReservedIdle while the cluster says Idle.
+  Reservation fake;
+  fake.job = kJobA;
+  fake.priority = 10;
+  auditor.on_slot_reserved(engine, kSlot0, fake);
+
+  ASSERT_TRUE(has_id(auditor.violations(), audit::kStateMismatch))
+      << auditor.report();
+}
+
+TEST(InvariantAuditorSeededBug, AccountingDivergenceIsCaught) {
+  // Observe a real run on engine A, then present the totals of an idle
+  // engine B: busy slot-seconds no longer reconcile.
+  Engine engine_a(SchedConfig{}, 1, 2, 1);
+  InvariantAuditor auditor(collect_options());
+  auditor.attach(engine_a);
+  engine_a.submit(one_stage_job("fg", 10, 2, 5.0));
+  engine_a.run();
+  ASSERT_TRUE(auditor.clean()) << auditor.report();
+
+  Engine engine_b(SchedConfig{}, 1, 2, 1);
+  auditor.on_run_complete(engine_b);
+  ASSERT_TRUE(has_id(auditor.violations(), audit::kSlotAccounting))
+      << auditor.report();
+}
+
+// --- No false positives on real scenarios -----------------------------------
+
+/// run_scenario twin that force-attaches an auditor in throw mode, so these
+/// tests audit the full stack regardless of the SSR_AUDIT build flag.
+RunResult run_audited(const ClusterSpec& cluster, std::vector<JobSpec> jobs,
+                      const RunOptions& options, InvariantAuditor& auditor) {
+  Engine engine(options.sched, cluster.nodes, cluster.slots_per_node,
+                options.seed);
+  if (options.ssr) {
+    engine.set_reservation_hook(
+        std::make_unique<ReservationManager>(*options.ssr));
+  }
+  auditor.attach(engine);
+  std::vector<JobId> ids;
+  for (JobSpec& spec : jobs) ids.push_back(engine.submit(std::move(spec)));
+  engine.run();
+  RunResult result;
+  for (JobId id : ids) {
+    result.jobs.push_back(JobResult{id, engine.job_name(id),
+                                    engine.graph(id).priority(),
+                                    engine.graph(id).submit_time(),
+                                    engine.job_finish_time(id),
+                                    engine.jct(id)});
+  }
+  return result;
+}
+
+std::vector<JobSpec> fig12_mix(double bg_multiplier) {
+  TraceGenConfig cfg;
+  cfg.num_jobs = 30;
+  cfg.window = 600.0;
+  cfg.runtime_multiplier = bg_multiplier;
+  cfg.seed = 99;
+  std::vector<JobSpec> jobs = make_background_jobs(cfg);
+  jobs.push_back(make_kmeans(20, /*priority=*/10, /*submit=*/60.0));
+  return jobs;
+}
+
+TEST(InvariantAuditorScenario, Fig12BaselineRunsClean) {
+  const ClusterSpec cluster{.nodes = 10, .slots_per_node = 2};
+  RunOptions options;
+  options.seed = 1;
+  InvariantAuditor auditor;
+  run_audited(cluster, fig12_mix(1.0), options, auditor);
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+  EXPECT_GT(auditor.events_audited(), 0u);
+}
+
+TEST(InvariantAuditorScenario, Fig12SsrStrictIsolationRunsClean) {
+  const ClusterSpec cluster{.nodes = 10, .slots_per_node = 2};
+  RunOptions options;
+  options.seed = 1;
+  options.ssr = SsrConfig{};  // P = 1, infinite-deadline reservations
+  options.ssr->min_reserving_priority = 1;
+  InvariantAuditor auditor;
+  run_audited(cluster, fig12_mix(2.0), options, auditor);
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+}
+
+TEST(InvariantAuditorScenario, Fig14DeadlineAndMitigationRunClean) {
+  // The fig14 knob sweep exercises deadline expiry (P < 1) and straggler
+  // copies (kills + re-reservation) — the busiest reservation lifecycles.
+  const ClusterSpec cluster{.nodes = 10, .slots_per_node = 2};
+  for (const double p : {0.5, 0.9}) {
+    RunOptions options;
+    options.seed = 3;
+    options.ssr = SsrConfig{};
+    options.ssr->isolation_p = p;
+    options.ssr->enable_straggler_mitigation = true;
+    InvariantAuditor auditor;
+    run_audited(cluster, fig12_mix(1.0), options, auditor);
+    EXPECT_TRUE(auditor.clean()) << "P=" << p << "\n" << auditor.report();
+  }
+}
+
+TEST(InvariantAuditorScenario, SqlChangingParallelismRunsClean) {
+  // SQL trees change parallelism across phases: the pre-reservation path
+  // (Case-2.3) grabs foreign slots, the release path drops surplus ones.
+  const ClusterSpec cluster{.nodes = 5, .slots_per_node = 2};
+  std::vector<JobSpec> jobs;
+  for (std::uint32_t q = 0; q < 6; ++q) {
+    SqlJobParams params;
+    params.query_index = q;
+    params.base_parallelism = 8;
+    params.submit_time = 5.0 * q;
+    jobs.push_back(make_sql_query(params));
+  }
+  RunOptions options;
+  options.seed = 7;
+  options.ssr = SsrConfig{};
+  options.ssr->isolation_p = 0.8;
+  InvariantAuditor auditor;
+  run_audited(cluster, std::move(jobs), options, auditor);
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+}
+
+TEST(InvariantAuditorScenario, FairPolicyRunsClean) {
+  const ClusterSpec cluster{.nodes = 4, .slots_per_node = 2};
+  RunOptions options;
+  options.seed = 5;
+  options.sched.policy = SchedulingPolicy::Fair;
+  InvariantAuditor auditor;
+  run_audited(cluster, fig12_mix(1.0), options, auditor);
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+}
+
+}  // namespace
+}  // namespace ssr
