@@ -81,7 +81,7 @@ class Rng {
     return x ^ (x >> 31);
   }
 
-  std::mt19937_64 engine_;
+  std::mt19937_64 engine_;  // ssr-lint: allow(unseeded-rng) — seeded in every ctor
   std::uint64_t base_seed_ = 0;
   std::uint64_t fork_counter_ = 1;
 };

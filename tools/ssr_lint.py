@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Project-convention linter for the SSR simulator.
+
+Enforces rules clang-tidy cannot express (or that we want even when
+clang-tidy is unavailable, as in minimal CI containers):
+
+  no-assert        assert()/abort() terminate without context; use the
+                   SSR_CHECK* macros, which throw ssr::CheckError with
+                   file:line and a message (tests rely on catching it).
+  no-wall-clock    std::rand, rand(), srand(), time(nullptr)/time(NULL) and
+                   std::random_device make runs irreproducible; draw from the
+                   seeded ssr::Rng instead.
+  unseeded-rng     a default-constructed <random> engine hides a fixed
+                   implementation seed; always pass an explicit seed.
+  pragma-once      headers use #pragma once, not #ifndef guards.
+  no-naked-new     raw `new` leaks on exceptions; use std::make_unique /
+                   containers.
+
+Usage:
+  tools/ssr_lint.py [paths...]       # default: src tests bench examples
+  tools/ssr_lint.py --list-rules
+
+Suppress a finding on one line with a trailing `// ssr-lint: allow(<rule>)`.
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".h", ".hpp", ".cpp", ".cc", ".cxx"}
+HEADER_SUFFIXES = {".h", ".hpp"}
+
+ALLOW_RE = re.compile(r"//\s*ssr-lint:\s*allow\(([a-z0-9-]+)\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure.
+
+    A linter over raw text would flag `// use assert here? no` or "time()".
+    Replacement keeps offsets stable so reported columns stay meaningful.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+RULES = {
+    "no-assert": "assert()/abort() forbidden; use SSR_CHECK*/SSR_CHECK_MSG",
+    "no-wall-clock": "non-deterministic sources forbidden; use seeded ssr::Rng",
+    "unseeded-rng": "<random> engines must be constructed with an explicit seed",
+    "pragma-once": "headers must use #pragma once, not #ifndef guards",
+    "no-naked-new": "raw `new` forbidden; use std::make_unique or containers",
+}
+
+# (rule, regex, message) applied per stripped line.
+LINE_PATTERNS = [
+    ("no-assert", re.compile(r"(?<![\w.])assert\s*\("),
+     "assert() aborts without context; use SSR_CHECK or SSR_CHECK_MSG"),
+    ("no-assert", re.compile(r"(?<![\w.])(?:std::)?abort\s*\("),
+     "abort() is uncatchable; throw via SSR_CHECK_MSG(false, ...) instead"),
+    ("no-wall-clock", re.compile(r"(?<![\w.])(?:std::)?s?rand\s*\("),
+     "std::rand/srand are unseeded global state; use ssr::Rng"),
+    ("no-wall-clock", re.compile(r"(?<![\w.])(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+     "wall-clock seeding breaks replay determinism; plumb a seed through"),
+    ("no-wall-clock", re.compile(r"std::random_device"),
+     "std::random_device is non-deterministic; derive seeds from ssr::Rng"),
+    ("unseeded-rng", re.compile(
+        r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
+        r"ranlux\d+(?:_base)?)\s+\w+\s*(?:;|\{\s*\})"),
+     "default-constructed RNG uses a hidden fixed seed; pass one explicitly"),
+    ("no-naked-new", re.compile(r"(?<![\w.])new\s+[A-Za-z_:][\w:<>,\s*&]*[({]"),
+     "raw new; prefer std::make_unique (or a container)"),
+]
+
+GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+\w+_H[_\w]*\s*$", re.MULTILINE)
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
+
+
+def lint_file(path: Path) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    stripped = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    findings: list[Finding] = []
+
+    def allowed(lineno: int, rule: str) -> bool:
+        if lineno - 1 >= len(raw_lines):
+            return False
+        m = ALLOW_RE.search(raw_lines[lineno - 1])
+        return bool(m) and m.group(1) == rule
+
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        for rule, pattern, message in LINE_PATTERNS:
+            if pattern.search(line) and not allowed(lineno, rule):
+                findings.append(Finding(path, lineno, rule, message))
+
+    if path.suffix in HEADER_SUFFIXES:
+        if not PRAGMA_ONCE_RE.search(stripped):
+            guard = GUARD_RE.search(stripped)
+            lineno = (stripped[: guard.start()].count("\n") + 1) if guard else 1
+            if not allowed(lineno, "pragma-once"):
+                findings.append(Finding(
+                    path, lineno, "pragma-once",
+                    "header lacks #pragma once" +
+                    (" (uses an #ifndef guard)" if guard else "")))
+    return findings
+
+
+def collect(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for arg in paths:
+        p = Path(arg)
+        if p.is_file():
+            files.append(p)
+        elif p.is_dir():
+            files.extend(f for f in sorted(p.rglob("*"))
+                         if f.suffix in CXX_SUFFIXES and f.is_file())
+        else:
+            print(f"ssr_lint: no such path: {arg}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        default=["src", "tests", "bench", "examples"])
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, blurb in RULES.items():
+            print(f"{rule:14} {blurb}")
+        return 0
+
+    findings: list[Finding] = []
+    files = collect(args.paths)
+    for f in files:
+        findings.extend(lint_file(f))
+
+    for finding in findings:
+        print(finding)
+    print(f"ssr_lint: {len(files)} files, {len(findings)} finding(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
