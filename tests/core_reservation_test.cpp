@@ -181,11 +181,11 @@ TEST(ReservationManager, PreReservationGrabsSlotsFreedByOtherJobs) {
                                      .explicit_durations({5.0, 10.0})
                                      .stage(4, fixed_duration(5.0))
                                      .build());
-  const JobId bg = engine.submit(JobBuilder("bg")
-                                     .priority(0)
-                                     .submit_at(1.0)
-                                     .stage(2, fixed_duration(6.0))
-                                     .build());
+  engine.submit(JobBuilder("bg")
+                    .priority(0)
+                    .submit_at(1.0)
+                    .stage(2, fixed_duration(6.0))
+                    .build());
   engine.run();
   // bg runs 1..7 on the two idle slots.  t=5: fg reserves its slot,
   // threshold crossed (0.5 > 0.4), nothing idle yet.  t=7: bg's slots free
