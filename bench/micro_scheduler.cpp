@@ -3,11 +3,20 @@
 // These quantify the costs that bound large-scale simulations: event queue
 // churn, cluster slot transitions, reservation bookkeeping, and end-to-end
 // simulated task throughput of the engine with and without SSR.
+//
+// Unlike the other micro_* conventions, this binary carries its own main():
+// it accepts `--bench-json FILE` (stripped before google-benchmark sees the
+// argv) and mirrors every measurement into the shared BENCH_sched.json
+// report that the perf-smoke CI job diffs against its committed baseline.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "ssr/core/reservation_manager.h"
+#include "ssr/exp/bench_report.h"
 #include "ssr/sched/engine.h"
 #include "ssr/sim/event_queue.h"
 
@@ -31,16 +40,23 @@ BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
 void BM_ClusterTaskTransitions(benchmark::State& state) {
   Cluster cluster(100, 4);
   double now = 0.0;
-  const TaskId task{StageId{JobId{0}, 0}, 0, 0};
+  std::uint32_t round = 0;
   for (auto _ : state) {
+    // A full job generation per round: every slot runs a distinct task of
+    // the round's job, finishes it (recording the resident output), and the
+    // job is torn down — the same start/finish/forget cycle the engine
+    // drives, so the resident-output bookkeeping stays on the measured path
+    // without growing without bound.
+    const JobId job{round++};
     for (std::uint32_t s = 0; s < cluster.num_slots(); ++s) {
-      cluster.start_task(SlotId{s}, task, now);
+      cluster.start_task(SlotId{s}, TaskId{StageId{job, 0}, s, 0}, now);
     }
     now += 1.0;
     for (std::uint32_t s = 0; s < cluster.num_slots(); ++s) {
       cluster.finish_task(SlotId{s}, now);
     }
     now += 1.0;
+    cluster.forget_job_outputs(job);
   }
   state.SetItemsProcessed(state.iterations() * cluster.num_slots() * 2);
 }
@@ -94,4 +110,53 @@ void BM_EngineThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineThroughput)->Arg(0)->Arg(1);
 
+/// Console reporter that additionally mirrors per-benchmark measurements
+/// into the shared BENCH_sched.json report.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(BenchReporter& out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      BenchRecord rec;
+      rec.name = run.benchmark_name();
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) rec.items_per_second = it->second;
+      rec.wall_seconds = run.real_accumulated_time;
+      out_.add(std::move(rec));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  BenchReporter& out_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off --bench-json before google-benchmark parses the argv (it
+  // rejects flags it does not know).
+  std::string bench_json;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
+      bench_json = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  BenchReporter report;
+  CapturingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!bench_json.empty()) report.write_file(bench_json);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -47,6 +47,9 @@ class ReservationManager : public ReservationHook {
   void on_slot_idle(Engine& engine, SlotId slot) override;
   bool approve(const Engine& engine, SlotId slot, JobId job,
                int priority) const override;
+  ReservedApprovalModel reserved_approval_model() const override {
+    return ReservedApprovalModel::PriorityOverride;
+  }
   void on_stage_submitted(Engine& engine, StageId stage) override;
   void on_stage_fully_placed(Engine& engine, StageId stage) override;
   void on_task_started(Engine& engine, TaskId task, SlotId slot) override;

@@ -1,0 +1,66 @@
+// Shared perf-bench reporting: every scheduler benchmark (micro and
+// wall-clock smoke) funnels its measurements through BenchReporter so CI
+// compares one stable JSON shape — BENCH_sched.json — against the committed
+// baseline (tools/check_bench_regression.py).
+//
+// Schema (documented in docs/EXPERIMENTS.md):
+//   {
+//     "schema": "ssr-bench-sched-v1",
+//     "peak_rss_mb": <process peak RSS in MiB at write time>,
+//     "records": [
+//       {"name": "...", "items_per_second": <rate or 0>,
+//        "wall_seconds": <elapsed wall time or 0>},
+//       ...
+//     ]
+//   }
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssr {
+
+/// One benchmark measurement.  Either field may be 0 when the bench has no
+/// meaningful value for it (a throughput micro-bench reports a rate, a
+/// wall-clock smoke reports seconds).
+struct BenchRecord {
+  std::string name;
+  double items_per_second = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Wall-clock stopwatch.  Simulated time advances for free; this measures
+/// the simulator's own execution cost, which is what the perf layer guards.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Peak resident set size of this process in MiB; 0 if unavailable.
+double peak_rss_mb();
+
+/// Accumulates records and writes BENCH_sched.json.
+class BenchReporter {
+ public:
+  void add(BenchRecord record);
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+  void write(std::ostream& os) const;
+  /// Write to `path`; throws CheckError if the file cannot be opened.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace ssr

@@ -65,6 +65,7 @@ RunResult run_scenario(const ClusterSpec& cluster, std::vector<JobSpec> jobs,
   }
   engine.run();
 
+  engine.cluster().settle(engine.sim().now());
   RunResult result;
   result.jobs.reserve(ids.size());
   for (JobId id : ids) {
@@ -75,10 +76,11 @@ RunResult run_scenario(const ClusterSpec& cluster, std::vector<JobSpec> jobs,
     jr.submit = engine.graph(id).submit_time();
     jr.finish = engine.job_finish_time(id);
     jr.jct = engine.jct(id);
+    jr.busy_seconds = task_stats.stats(id).busy_seconds;
+    jr.reserved_idle_seconds = engine.cluster().reserved_idle_time_of(id);
     result.jobs.push_back(std::move(jr));
     result.makespan = std::max(result.makespan, engine.job_finish_time(id));
   }
-  engine.cluster().settle(engine.sim().now());
   result.busy_time = engine.cluster().total_busy_time();
   result.reserved_idle_time = engine.cluster().total_reserved_idle_time();
   result.utilization =
@@ -160,11 +162,13 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       args.csv = value_of(i);
     } else if (std::strcmp(argv[i], "--json") == 0) {
       args.json = value_of(i);
+    } else if (std::strcmp(argv[i], "--bench-json") == 0) {
+      args.bench_json = value_of(i);
     } else {
       SSR_CHECK_MSG(false, "unknown argument '"
                                << argv[i]
                                << "' (expected --scale, --seed, --jobs, "
-                                  "--csv, or --json)");
+                                  "--csv, --json, or --bench-json)");
     }
   }
   return args;

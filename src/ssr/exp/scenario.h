@@ -44,6 +44,10 @@ struct JobResult {
   SimTime submit = 0.0;
   SimTime finish = 0.0;
   SimDuration jct = 0.0;
+  /// Busy slot-seconds the job's attempts occupied.
+  double busy_seconds = 0.0;
+  /// Slot-seconds spent ReservedIdle under this job's reservations.
+  double reserved_idle_seconds = 0.0;
 };
 
 struct RunResult {
@@ -78,8 +82,8 @@ inline double slowdown(double measured_jct, double alone) {
   return measured_jct / alone;
 }
 
-/// Parse "--scale N", "--seed S", "--jobs N", "--csv F", "--json F"
-/// overrides from a bench's argv.  scale divides workload sizes so CI
+/// Parse "--scale N", "--seed S", "--jobs N", "--csv F", "--json F",
+/// "--bench-json F" overrides from a bench's argv.  scale divides workload sizes so CI
 /// machines can run the large-scale simulations faster; 1 reproduces the
 /// paper-scale setup.  jobs sets the sweep worker-pool size (0 = one worker
 /// per hardware core).  Malformed or out-of-range values and unknown flags
@@ -91,6 +95,9 @@ struct BenchArgs {
   unsigned jobs = 0;  ///< sweep workers; 0 = hardware_concurrency
   std::string csv;    ///< when set, ported benches write per-trial rows here
   std::string json;   ///< when set, ported benches write summary JSON here
+  /// When set, perf benches write the BENCH_sched.json perf report here
+  /// (see exp/bench_report.h for the schema).
+  std::string bench_json;
 
   static BenchArgs parse(int argc, char** argv);
   /// value / scale, at least 1 (for counts).

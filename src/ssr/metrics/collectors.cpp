@@ -58,6 +58,7 @@ void TaskStatsCollector::on_task_started(const Engine& engine, TaskId task,
                                          SlotId) {
   JobTaskStats& s = by_job_[task.stage.job];
   ++s.tasks_started;
+  started_at_[task] = engine.sim().now();
   if (task.attempt >= 1) ++s.copies_started;
   const StageRuntime* st =
       static_cast<const Engine&>(engine).stage_runtime(task.stage);
@@ -72,14 +73,25 @@ void TaskStatsCollector::on_task_started(const Engine& engine, TaskId task,
   }
 }
 
-void TaskStatsCollector::on_task_finished(const Engine&, TaskId task, SlotId) {
+void TaskStatsCollector::on_task_finished(const Engine& engine, TaskId task,
+                                          SlotId) {
   JobTaskStats& s = by_job_[task.stage.job];
   ++s.tasks_finished;
   if (task.attempt >= 1) ++s.copies_won;
+  record_busy(engine, task);
 }
 
-void TaskStatsCollector::on_task_killed(const Engine&, TaskId task, SlotId) {
+void TaskStatsCollector::on_task_killed(const Engine& engine, TaskId task,
+                                        SlotId) {
   ++by_job_[task.stage.job].tasks_killed;
+  record_busy(engine, task);
+}
+
+void TaskStatsCollector::record_busy(const Engine& engine, TaskId task) {
+  auto it = started_at_.find(task);
+  SSR_CHECK_MSG(it != started_at_.end(), "attempt ended without a start");
+  by_job_[task.stage.job].busy_seconds += engine.sim().now() - it->second;
+  started_at_.erase(it);
 }
 
 const JobTaskStats& TaskStatsCollector::stats(JobId job) const {
@@ -97,6 +109,7 @@ JobTaskStats TaskStatsCollector::totals() const {
     t.copies_started += s.copies_started;
     t.copies_won += s.copies_won;
     t.local_starts += s.local_starts;
+    t.busy_seconds += s.busy_seconds;
   }
   return t;
 }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ssr/common/ids.h"
@@ -46,6 +47,8 @@ struct JobTaskStats {
   std::uint64_t copies_started = 0;  ///< attempts with attempt id >= 1
   std::uint64_t copies_won = 0;      ///< copies that beat their original
   std::uint64_t local_starts = 0;    ///< attempts launched with data locality
+  /// Busy slot-seconds the job's attempts occupied (finished and killed).
+  double busy_seconds = 0.0;
 };
 
 class TaskStatsCollector : public EngineObserver {
@@ -58,7 +61,12 @@ class TaskStatsCollector : public EngineObserver {
   JobTaskStats totals() const;
 
  private:
+  void record_busy(const Engine& engine, TaskId task);
+
   std::map<JobId, JobTaskStats> by_job_;
+  /// Start times of in-flight attempts, to attribute busy slot-seconds.
+  /// Hashed: this sees every attempt start/stop, and ordering is unused.
+  std::unordered_map<TaskId, SimTime> started_at_;
 };
 
 /// Job completion records, in finish order.

@@ -58,13 +58,7 @@ JobId Engine::submit(JobSpec spec) {
   // Reject jobs that could never run: every stage needs at least one slot
   // whose capacity covers its demand, or the simulation would wedge.
   for (std::uint32_t i = 0; i < n; ++i) {
-    const Resources& demand = job->graph.stage(i).demand;
-    bool fits_somewhere = false;
-    for (std::uint32_t s = 0; s < cluster_.num_slots() && !fits_somewhere;
-         ++s) {
-      fits_somewhere = demand.fits_in(cluster_.slot(SlotId{s}).capacity());
-    }
-    SSR_CHECK_MSG(fits_somewhere,
+    SSR_CHECK_MSG(cluster_.fits_any_slot(job->graph.stage(i).demand),
                   "stage demand exceeds every slot capacity in the cluster");
   }
 
@@ -163,14 +157,14 @@ void Engine::submit_stage(JobId job, std::uint32_t stage_index) {
   // parents' outputs.
   std::unordered_set<SlotId> preferred;
   for (std::uint32_t p : spec.parents) {
-    auto it = stage_output_slots_.find(js.graph.stage_id(p));
-    if (it != stage_output_slots_.end()) {
+    auto it = js.output_slots.find(p);
+    if (it != js.output_slots.end()) {
       preferred.insert(it->second.begin(), it->second.end());
     }
   }
   stage.set_preferred_slots(std::move(preferred));
 
-  active_stages_.push_back(sid);
+  active_stages_.push_back(ActiveStage{&stage, &js});
   hook_->on_stage_submitted(*this, sid);
   for (EngineObserver* o : observers_) o->on_stage_submitted(*this, sid);
 
@@ -196,16 +190,14 @@ void Engine::finish_job(JobId job) {
   js.finish_time = sim_.now();
   hook_->on_job_finished(*this, job);  // releases the job's reservations
   cluster_.forget_job_outputs(job);
-  std::erase_if(stage_output_slots_,
-                [job](const auto& kv) { return kv.first.job == job; });
+  js.output_slots.clear();
   for (EngineObserver* o : observers_) o->on_job_finished(*this, job);
 }
 
 // --- Offers -----------------------------------------------------------------
 
-bool Engine::stage_precedes(const StageRuntime& a, const StageRuntime& b) const {
-  const JobState& ja = state(a.id().job);
-  const JobState& jb = state(b.id().job);
+bool Engine::stage_precedes(const JobState& ja, const StageRuntime& a,
+                            const JobState& jb, const StageRuntime& b) const {
   if (config_.policy == SchedulingPolicy::Fair) {
     const double sa =
         static_cast<double>(ja.running_tasks) / ja.graph.spec().fair_weight;
@@ -249,12 +241,17 @@ void Engine::offer_slot(SlotId slot) {
   // (Sorting all pending stages per offer would dominate large overloaded
   // simulations; acceptance checks are cheap hash lookups.)
   StageRuntime* best = nullptr;
-  for (StageId sid : active_stages_) {
-    StageRuntime* stage = stage_runtime(sid);
-    if (stage == nullptr || stage->all_placed()) continue;
-    if (best != nullptr && !stage_precedes(*stage, *best)) continue;
+  const JobState* best_job = nullptr;
+  for (const ActiveStage& active : active_stages_) {
+    StageRuntime* stage = active.runtime;
+    if (stage->all_placed()) continue;
+    if (best != nullptr &&
+        !stage_precedes(*active.job, *stage, *best_job, *best)) {
+      continue;
+    }
     if (stage_accepts_slot(*stage, slot)) {
       best = stage;
+      best_job = active.job;
     } else {
       arm_locality_retry(*stage);
     }
@@ -266,9 +263,41 @@ void Engine::offer_slot(SlotId slot) {
   }
 }
 
+void Engine::append_overridable_reserved(JobId job, int priority,
+                                         std::vector<SlotId>& out) const {
+  // k-way merge of the id-ordered priority buckets strictly below the
+  // requester's priority; reproduces the id order of one full scan over the
+  // reserved set restricted to the slots a PriorityOverride approve() would
+  // accept.  The bucket count is the number of distinct live reservation
+  // priorities — a handful — so the linear best-cursor probe is cheap.
+  using Cursor = std::set<SlotId>::const_iterator;
+  std::vector<std::pair<Cursor, Cursor>> cursors;
+  const auto& buckets = cluster_.reserved_idle_by_priority();
+  for (auto it = buckets.begin(); it != buckets.end() && it->first < priority;
+       ++it) {
+    cursors.emplace_back(it->second.begin(), it->second.end());
+  }
+  while (true) {
+    std::size_t best = cursors.size();
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+      if (cursors[i].first == cursors[i].second) continue;
+      if (best == cursors.size() || *cursors[i].first < *cursors[best].first) {
+        best = i;
+      }
+    }
+    if (best == cursors.size()) break;
+    const SlotId s = *cursors[best].first++;
+    // Own-job reservations normally carry the job's own priority and never
+    // land in a lower bucket, but a hook is free to tag them differently;
+    // they belong to candidate group (1), not here.
+    if (cluster_.slot(s).reservation()->job != job) out.push_back(s);
+  }
+}
+
 void Engine::place_stage_tasks(StageRuntime& stage) {
   if (stage.all_placed()) return;
   const JobId job = stage.id().job;
+  const ReservedApprovalModel model = hook_->reserved_approval_model();
 
   // Candidate slots in preference order: (1) slots reserved for this job —
   // downstream computations reclaim their reservations first; (2) idle slots
@@ -276,17 +305,49 @@ void Engine::place_stage_tasks(StageRuntime& stage) {
   // reservations (override).  Duplicates are harmless: a consumed slot fails
   // the availability re-check.
   std::vector<SlotId> candidates;
-  for (SlotId s : cluster_.reserved_idle_slots()) {
-    if (cluster_.slot(s).reservation()->job == job) candidates.push_back(s);
-  }
-  for (SlotId s : cluster_.idle_slots()) {
-    if (stage.is_preferred(s)) candidates.push_back(s);
-  }
-  for (SlotId s : cluster_.idle_slots()) {
-    if (!stage.is_preferred(s)) candidates.push_back(s);
-  }
-  for (SlotId s : cluster_.reserved_idle_slots()) {
-    if (cluster_.slot(s).reservation()->job != job) candidates.push_back(s);
+  if (model == ReservedApprovalModel::Custom) {
+    // Reference enumeration: full id-ordered scans over the cluster's free
+    // sets.  Hooks with unknown approval semantics get this path, and the
+    // differential test suite forces it (via ReferenceSelector) to prove the
+    // indexed enumeration below makes the same decisions.
+    for (SlotId s : cluster_.reserved_idle_slots()) {
+      if (cluster_.slot(s).reservation()->job == job) candidates.push_back(s);
+    }
+    for (SlotId s : cluster_.idle_slots()) {
+      if (stage.is_preferred(s)) candidates.push_back(s);
+    }
+    for (SlotId s : cluster_.idle_slots()) {
+      if (!stage.is_preferred(s)) candidates.push_back(s);
+    }
+    for (SlotId s : cluster_.reserved_idle_slots()) {
+      if (cluster_.slot(s).reservation()->job != job) candidates.push_back(s);
+    }
+  } else {
+    // Indexed enumeration.  Each group comes from an incrementally
+    // maintained id-ordered index yielding exactly the slots, in exactly the
+    // order, the reference scan above visits with the same filter.  Group
+    // (4) additionally pre-applies the hook's declared approval rule, and a
+    // delay-blocked stage skips group (3) outright; both prunings drop only
+    // slots the per-candidate checks would reject, which is sound because
+    // acceptance is monotone over the placement loop: slots only leave
+    // availability (Idle/ReservedIdle -> Busy; no release or re-reservation
+    // of a reserved slot can occur while no simulated time passes), and the
+    // delay-scheduling relax time only moves later, so a slot rejectable at
+    // snapshot time can never become acceptable mid-loop.
+    const auto& own = cluster_.reserved_idle_slots_of(job);
+    candidates.assign(own.begin(), own.end());
+    for (SlotId s : stage.preferred_slots_sorted()) {
+      if (cluster_.slot(s).state() == SlotState::Idle) candidates.push_back(s);
+    }
+    if (stage.accepts_any_slot(sim_.now(), config_.locality_wait)) {
+      for (SlotId s : cluster_.idle_slots()) {
+        if (!stage.is_preferred(s)) candidates.push_back(s);
+      }
+    }
+    if (model == ReservedApprovalModel::PriorityOverride) {
+      append_overridable_reserved(job, state(job).graph.priority(), candidates);
+    }
+    // NeverApprove: approve() rejects every reserved slot; nothing to add.
   }
 
   for (SlotId slot : candidates) {
@@ -348,7 +409,9 @@ void Engine::start_attempt(StageRuntime& stage, TaskAttempt& attempt,
   // Copies never change the pending queue; only the placement of the last
   // original flips the stage to fully-placed.
   if (attempt.id.attempt == 0 && stage.all_placed()) {
-    std::erase(active_stages_, stage.id());
+    std::erase_if(active_stages_, [&stage](const ActiveStage& active) {
+      return active.runtime == &stage;
+    });
     hook_->on_stage_fully_placed(*this, stage.id());
   }
 }
@@ -377,7 +440,7 @@ void Engine::handle_completion(StageId stage_id, TaskId task) {
   stage->mark_finished(*attempt, sim_.now());
   --js.running_tasks;
   cluster_.finish_task(attempt->slot, sim_.now());
-  stage_output_slots_[stage_id].push_back(attempt->slot);
+  js.output_slots[stage_id.index].push_back(attempt->slot);
   // Observers must see the finish before the twin kill and before the hook
   // (which may immediately reserve the freed slot) — same ordering rule as
   // in start_attempt.

@@ -42,6 +42,9 @@ class NullReservationHook : public ReservationHook {
   void on_slot_idle(Engine&, SlotId) override {}
   bool approve(const Engine& engine, SlotId slot, JobId job,
                int priority) const override;
+  ReservedApprovalModel reserved_approval_model() const override {
+    return ReservedApprovalModel::NeverApprove;
+  }
   void on_stage_submitted(Engine&, StageId) override {}
   void on_stage_fully_placed(Engine&, StageId) override {}
   void on_task_started(Engine&, TaskId, SlotId) override {}
@@ -133,6 +136,10 @@ class Engine {
     std::vector<std::uint32_t> unfinished_parents;
     /// Per stage: runtime, created at submission.
     std::vector<std::unique_ptr<StageRuntime>> runtimes;
+    /// Per stage index: slots on which the stage's tasks completed (the
+    /// locality index consumed by child-stage submission).  Job-local so
+    /// teardown is proportional to the job, not to all jobs ever run.
+    std::unordered_map<std::uint32_t, std::vector<SlotId>> output_slots;
     bool done() const { return finished_stages == graph.num_stages(); }
   };
 
@@ -151,8 +158,15 @@ class Engine {
   /// Let a stage greedily grab every available slot it can use.
   void place_stage_tasks(StageRuntime& stage);
 
+  /// Append the ReservedIdle slots a PriorityOverride hook would approve for
+  /// `job` at `priority` (foreign reservations of strictly lower priority),
+  /// in ascending slot-id order, by merging the priority buckets.
+  void append_overridable_reserved(JobId job, int priority,
+                                   std::vector<SlotId>& out) const;
+
   /// Policy order: does stage `a` outrank stage `b` for the next offer?
-  bool stage_precedes(const StageRuntime& a, const StageRuntime& b) const;
+  bool stage_precedes(const JobState& ja, const StageRuntime& a,
+                      const JobState& jb, const StageRuntime& b) const;
 
   /// Can `stage` start its next pending task on `slot` right now?
   /// Checks approval and delay scheduling.  `slot` may be Idle or
@@ -178,9 +192,15 @@ class Engine {
   Rng rng_;
 
   std::vector<std::unique_ptr<JobState>> jobs_;
-  std::vector<StageId> active_stages_;  ///< stages with pending tasks
-  /// Slots on which each stage's tasks completed (locality index).
-  std::unordered_map<StageId, std::vector<SlotId>> stage_output_slots_;
+  /// One entry per stage with pending tasks, in submission order.  The
+  /// runtime and job-state pointers are stable for the engine's lifetime
+  /// (both live behind unique_ptrs); caching them keeps the per-offer scan
+  /// free of id -> runtime lookups, which dominate at fig15 scale.
+  struct ActiveStage {
+    StageRuntime* runtime;
+    const JobState* job;
+  };
+  std::vector<ActiveStage> active_stages_;
 
   std::unique_ptr<ReservationHook> hook_;
   std::vector<EngineObserver*> observers_;

@@ -1,0 +1,60 @@
+// ReferenceSelector: differential-testing fixture that pins the engine to
+// the reference (pre-index) candidate enumeration.
+//
+// It wraps any ReservationHook and forwards every callback unchanged, but
+// reports ReservedApprovalModel::Custom, which makes Engine::place_stage_tasks
+// take the full-scan enumeration path — the linear scans the incremental
+// indexes replaced.  Running the same scenario with and without the wrapper
+// and comparing the resulting task-start sequences therefore checks the
+// optimized path against the original, decision for decision.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "ssr/common/check.h"
+#include "ssr/sched/types.h"
+
+namespace ssr {
+
+class ReferenceSelector : public ReservationHook {
+ public:
+  explicit ReferenceSelector(std::unique_ptr<ReservationHook> inner)
+      : inner_(std::move(inner)) {
+    SSR_CHECK_MSG(inner_ != nullptr, "ReferenceSelector needs a hook to wrap");
+  }
+
+  void on_task_finished(Engine& engine, const TaskFinishInfo& info) override {
+    inner_->on_task_finished(engine, info);
+  }
+  void on_task_killed(Engine& engine, const TaskFinishInfo& info) override {
+    inner_->on_task_killed(engine, info);
+  }
+  void on_slot_idle(Engine& engine, SlotId slot) override {
+    inner_->on_slot_idle(engine, slot);
+  }
+  bool approve(const Engine& engine, SlotId slot, JobId job,
+               int priority) const override {
+    return inner_->approve(engine, slot, job, priority);
+  }
+  ReservedApprovalModel reserved_approval_model() const override {
+    return ReservedApprovalModel::Custom;
+  }
+  void on_stage_submitted(Engine& engine, StageId stage) override {
+    inner_->on_stage_submitted(engine, stage);
+  }
+  void on_stage_fully_placed(Engine& engine, StageId stage) override {
+    inner_->on_stage_fully_placed(engine, stage);
+  }
+  void on_task_started(Engine& engine, TaskId task, SlotId slot) override {
+    inner_->on_task_started(engine, task, slot);
+  }
+  void on_job_finished(Engine& engine, JobId job) override {
+    inner_->on_job_finished(engine, job);
+  }
+
+ private:
+  std::unique_ptr<ReservationHook> inner_;
+};
+
+}  // namespace ssr

@@ -127,6 +127,12 @@ void StageRuntime::mark_killed(TaskAttempt& attempt, SimTime now) {
   if (attempt.id.attempt == 0) --running_originals_;
 }
 
+void StageRuntime::set_preferred_slots(std::unordered_set<SlotId> preferred) {
+  preferred_ = std::move(preferred);
+  preferred_sorted_.assign(preferred_.begin(), preferred_.end());
+  std::sort(preferred_sorted_.begin(), preferred_sorted_.end());
+}
+
 bool StageRuntime::accepts_any_slot(SimTime now,
                                     SimDuration locality_wait) const {
   if (preferred_.empty()) return true;  // no locality preference at all

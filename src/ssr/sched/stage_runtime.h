@@ -115,10 +115,16 @@ class StageRuntime {
   const std::unordered_set<SlotId>& preferred_slots() const {
     return preferred_;
   }
-  void set_preferred_slots(std::unordered_set<SlotId> preferred) {
-    preferred_ = std::move(preferred);
-  }
+  void set_preferred_slots(std::unordered_set<SlotId> preferred);
   bool is_preferred(SlotId slot) const { return preferred_.contains(slot); }
+
+  /// The preferred slots in ascending id order.  The hot path walks this
+  /// instead of filtering the whole idle set, so candidate enumeration is
+  /// proportional to the stage's locality footprint; the sorted order keeps
+  /// it bit-identical with an id-ordered idle-set scan.
+  const std::vector<SlotId>& preferred_slots_sorted() const {
+    return preferred_sorted_;
+  }
 
   /// Whether the task set currently accepts slots without locality.  True
   /// when it has no locality preference at all, or when `locality_wait` has
@@ -149,6 +155,7 @@ class StageRuntime {
   std::optional<double> first_finish_duration_;
 
   std::unordered_set<SlotId> preferred_;
+  std::vector<SlotId> preferred_sorted_;
   SimTime last_local_launch_;
   bool retry_timer_armed_ = false;
 };

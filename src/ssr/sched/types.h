@@ -67,6 +67,25 @@ struct TaskFinishInfo {
   SimDuration duration = 0.0;
 };
 
+/// What a hook's approve() does with ReservedIdle slots.  The engine uses
+/// this to pick an indexed candidate enumeration on the scheduling hot path
+/// instead of probing approve() against every reserved slot.  Whatever the
+/// model, approve() itself stays the source of truth: the engine only ever
+/// uses the model to *restrict* which slots it asks about, and the indexed
+/// enumerations are constructed to visit exactly the slots approve() would
+/// accept, in the same id order the full scan would.
+enum class ReservedApprovalModel {
+  /// approve() is arbitrary; the engine must probe every reserved slot.
+  /// The conservative default — unknown hooks get the full-scan path.
+  Custom,
+  /// approve() never accepts a ReservedIdle slot (NullReservationHook).
+  NeverApprove,
+  /// approve() accepts a ReservedIdle slot iff the reservation belongs to
+  /// the requesting job or the requester's priority strictly exceeds the
+  /// reservation's (Algorithm 1's ApprovalLogic; all SSR policy hooks).
+  PriorityOverride,
+};
+
 /// Interface the speculative-slot-reservation core implements; a null
 /// default (no reservations, plain work conservation) is used otherwise.
 ///
@@ -97,6 +116,13 @@ class ReservationHook {
   /// start a task on `slot`?  Must return true for unreserved idle slots.
   virtual bool approve(const Engine& engine, SlotId slot, JobId job,
                        int priority) const = 0;
+
+  /// Declares approve()'s behaviour on ReservedIdle slots so the engine can
+  /// enumerate candidates from incremental indexes.  Override ONLY if
+  /// approve() exactly matches the declared model; Custom is always safe.
+  virtual ReservedApprovalModel reserved_approval_model() const {
+    return ReservedApprovalModel::Custom;
+  }
 
   /// A stage's task set was submitted (its barrier cleared).
   virtual void on_stage_submitted(Engine& engine, StageId stage) = 0;

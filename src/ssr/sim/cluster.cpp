@@ -1,5 +1,6 @@
 #include "ssr/sim/cluster.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace ssr {
@@ -13,6 +14,7 @@ Cluster::Cluster(std::uint32_t num_nodes, std::uint32_t slots_per_node)
   for (std::uint32_t n = 0; n < num_nodes; ++n) {
     for (std::uint32_t s = 0; s < slots_per_node; ++s) {
       slots_.emplace_back(SlotId{next_slot}, NodeId{n});
+      record_capacity(slots_.back().capacity());
       idle_.insert(SlotId{next_slot});
       ++next_slot;
     }
@@ -29,10 +31,51 @@ Cluster::Cluster(const std::vector<std::vector<Resources>>& node_slots)
       SSR_CHECK_MSG(cap.cpu > 0.0 && cap.memory > 0.0,
                     "slot capacity must be positive");
       slots_.emplace_back(SlotId{next_slot}, NodeId{n}, cap);
+      record_capacity(cap);
       idle_.insert(SlotId{next_slot});
       ++next_slot;
     }
   }
+}
+
+void Cluster::record_capacity(const Resources& capacity) {
+  if (std::find(distinct_capacities_.begin(), distinct_capacities_.end(),
+                capacity) == distinct_capacities_.end()) {
+    distinct_capacities_.push_back(capacity);
+  }
+}
+
+bool Cluster::fits_any_slot(const Resources& demand) const {
+  for (const Resources& cap : distinct_capacities_) {
+    if (demand.fits_in(cap)) return true;
+  }
+  return false;
+}
+
+const std::set<SlotId>& Cluster::reserved_idle_slots_of(JobId job) const {
+  static const std::set<SlotId> kEmpty;
+  auto it = reserved_idle_of_job_.find(job);
+  return it == reserved_idle_of_job_.end() ? kEmpty : it->second;
+}
+
+void Cluster::index_reservation(SlotId id, const Reservation& r) {
+  reserved_idle_.insert(id);
+  reserved_idle_of_job_[r.job].insert(id);
+  reserved_idle_by_priority_[r.priority].insert(id);
+}
+
+void Cluster::unindex_reservation(SlotId id, const Reservation& r) {
+  reserved_idle_.erase(id);
+  auto job_it = reserved_idle_of_job_.find(r.job);
+  SSR_CHECK_MSG(job_it != reserved_idle_of_job_.end(),
+                "reservation missing from the per-job index");
+  job_it->second.erase(id);
+  if (job_it->second.empty()) reserved_idle_of_job_.erase(job_it);
+  auto prio_it = reserved_idle_by_priority_.find(r.priority);
+  SSR_CHECK_MSG(prio_it != reserved_idle_by_priority_.end(),
+                "reservation missing from the priority index");
+  prio_it->second.erase(id);
+  if (prio_it->second.empty()) reserved_idle_by_priority_.erase(prio_it);
 }
 
 void Cluster::accrue(Slot& s, SimTime now) {
@@ -59,7 +102,7 @@ void Cluster::start_task(SlotId id, TaskId task, SimTime now) {
   if (s.state_ == SlotState::Idle) {
     idle_.erase(id);
   } else {
-    reserved_idle_.erase(id);
+    unindex_reservation(id, *s.reservation_);
     s.reservation_.reset();
   }
   s.state_ = SlotState::Busy;
@@ -70,7 +113,9 @@ void Cluster::finish_task(SlotId id, SimTime now) {
   Slot& s = mutable_slot(id);
   SSR_CHECK_MSG(s.state_ == SlotState::Busy, "no task running on slot");
   accrue(s, now);
-  s.resident_outputs_.insert(s.running_task_->stage);
+  const StageId finished = s.running_task_->stage;
+  s.resident_outputs_[finished.job].insert(finished.index);
+  output_slots_of_job_[finished.job].insert(id);
   s.running_task_.reset();
   s.state_ = SlotState::Idle;
   idle_.insert(id);
@@ -94,7 +139,7 @@ std::uint64_t Cluster::reserve(SlotId id, Reservation reservation,
   reservation.token = next_token_++;
   s.reservation_ = reservation;
   s.state_ = SlotState::ReservedIdle;
-  reserved_idle_.insert(id);
+  index_reservation(id, reservation);
   return reservation.token;
 }
 
@@ -102,7 +147,7 @@ void Cluster::release_reservation(SlotId id, SimTime now) {
   Slot& s = mutable_slot(id);
   SSR_CHECK_MSG(s.state_ == SlotState::ReservedIdle, "slot not reserved");
   accrue(s, now);
-  reserved_idle_.erase(id);
+  unindex_reservation(id, *s.reservation_);
   s.reservation_.reset();
   s.state_ = SlotState::Idle;
   idle_.insert(id);
@@ -119,10 +164,12 @@ bool Cluster::release_if_current(SlotId id, std::uint64_t token, SimTime now) {
 }
 
 void Cluster::forget_job_outputs(JobId job) {
-  for (Slot& s : slots_) {
-    std::erase_if(s.resident_outputs_,
-                  [job](const StageId& st) { return st.job == job; });
+  auto it = output_slots_of_job_.find(job);
+  if (it == output_slots_of_job_.end()) return;
+  for (SlotId id : it->second) {
+    mutable_slot(id).resident_outputs_.erase(job);
   }
+  output_slots_of_job_.erase(it);
 }
 
 void Cluster::settle(SimTime now) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -58,7 +59,8 @@ class Slot {
   /// task of `stage` completed here.  Downstream tasks scheduled on such a
   /// slot run at full speed; elsewhere they pay the locality penalty.
   bool has_output(StageId stage) const {
-    return resident_outputs_.contains(stage);
+    auto it = resident_outputs_.find(stage.job);
+    return it != resident_outputs_.end() && it->second.contains(stage.index);
   }
 
   double busy_time() const { return busy_time_; }
@@ -73,7 +75,11 @@ class Slot {
   SlotState state_ = SlotState::Idle;
   std::optional<Reservation> reservation_;
   std::optional<TaskId> running_task_;
-  std::unordered_set<StageId> resident_outputs_;
+  /// Resident stage outputs keyed by owning job, so a finished job's
+  /// entries are dropped with one map erase instead of a scan over every
+  /// other job's outputs (job teardown is on the hot path at fig15 scale).
+  std::unordered_map<JobId, std::unordered_set<std::uint32_t>>
+      resident_outputs_;
 
   SimTime state_since_ = kTimeZero;
   double busy_time_ = 0.0;
@@ -104,6 +110,28 @@ class Cluster {
 
   /// Slots currently ReservedIdle, ordered by id.
   const std::set<SlotId>& reserved_idle_slots() const { return reserved_idle_; }
+
+  // --- Incremental scheduler indexes --------------------------------------
+  // Maintained on every state transition so the scheduling hot path never
+  // rescans all slots.  Each index preserves id-ordered iteration, keeping
+  // placement decisions bit-identical with the full-scan formulation.
+
+  /// ReservedIdle slots whose reservation belongs to `job`, ordered by id.
+  /// (The id-ordered subsequence of reserved_idle_slots() with that job.)
+  const std::set<SlotId>& reserved_idle_slots_of(JobId job) const;
+
+  /// ReservedIdle slots bucketed by reservation priority (each bucket
+  /// id-ordered).  Lets priority-aware policies enumerate only the buckets a
+  /// requester could override instead of scanning every reservation.
+  const std::map<int, std::set<SlotId>>& reserved_idle_by_priority() const {
+    return reserved_idle_by_priority_;
+  }
+
+  /// True if at least one slot's capacity covers `demand`.  O(#distinct
+  /// capacity classes) — slot capacities are fixed at construction, so the
+  /// distinct set is precomputed once (a single entry for homogeneous
+  /// clusters) instead of scanning every slot per query.
+  bool fits_any_slot(const Resources& demand) const;
 
   // --- State transitions -------------------------------------------------
 
@@ -151,11 +179,25 @@ class Cluster {
  private:
   Slot& mutable_slot(SlotId id) { return slots_.at(id.v); }
   void accrue(Slot& s, SimTime now);
+  void record_capacity(const Resources& capacity);
+  void index_reservation(SlotId id, const Reservation& r);
+  void unindex_reservation(SlotId id, const Reservation& r);
 
   std::uint32_t num_nodes_;
   std::vector<Slot> slots_;
   std::set<SlotId> idle_;
   std::set<SlotId> reserved_idle_;
+  /// Secondary views of reserved_idle_, keyed by reserving job / priority.
+  /// Entries are erased when their set drains so the maps stay bounded by
+  /// the number of live reservations, not of jobs ever seen.
+  std::map<JobId, std::set<SlotId>> reserved_idle_of_job_;
+  std::map<int, std::set<SlotId>> reserved_idle_by_priority_;
+  /// Slots currently holding resident outputs of each job; makes
+  /// forget_job_outputs proportional to the job's footprint instead of the
+  /// cluster size.
+  std::unordered_map<JobId, std::unordered_set<SlotId>> output_slots_of_job_;
+  /// Distinct slot capacities (fixed at construction).
+  std::vector<Resources> distinct_capacities_;
   std::unordered_map<JobId, double> reserved_idle_by_job_;
   std::uint64_t next_token_ = 1;
 };

@@ -1,5 +1,6 @@
 #include "ssr/sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "ssr/common/check.h"
@@ -7,20 +8,20 @@
 namespace ssr {
 
 void EventQueue::push(SimTime at, Callback fn) {
-  SSR_CHECK_MSG(fn != nullptr, "event callback required");
-  heap_.push(Event{at, next_seq_++, std::move(fn)});
+  SSR_CHECK_MSG(static_cast<bool>(fn), "event callback required");
+  heap_.push_back(Event{at, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 SimTime EventQueue::next_time() const {
-  return heap_.empty() ? kTimeInfinity : heap_.top().at;
+  return heap_.empty() ? kTimeInfinity : heap_.front().at;
 }
 
 std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
   SSR_CHECK_MSG(!heap_.empty(), "pop from empty event queue");
-  // priority_queue::top() is const&; the move is safe because we pop
-  // immediately after and never observe the moved-from element.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   return {ev.at, std::move(ev.fn)};
 }
 

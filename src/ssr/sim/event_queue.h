@@ -2,20 +2,64 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "ssr/common/time.h"
 
 namespace ssr {
 
+/// Type-erased move-only nullary callable (a minimal stand-in for C++23's
+/// std::move_only_function).  std::function requires its target to be
+/// copyable, which forbids lambdas that capture move-only state and forces
+/// the queue to copy callbacks around; this wrapper only ever moves.
+class UniqueCallback {
+ public:
+  UniqueCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueCallback>>>
+  UniqueCallback(F&& fn)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(fn))) {}
+
+  UniqueCallback(UniqueCallback&&) noexcept = default;
+  UniqueCallback& operator=(UniqueCallback&&) noexcept = default;
+  UniqueCallback(const UniqueCallback&) = delete;
+  UniqueCallback& operator=(const UniqueCallback&) = delete;
+
+  void operator()() { impl_->call(); }
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void call() = 0;
+  };
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F fn) : fn(std::move(fn)) {}
+    void call() override { fn(); }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
 /// Time-ordered queue of callbacks.  Events at the same instant fire in
 /// insertion order (a monotone sequence number breaks ties), which makes runs
 /// deterministic regardless of floating-point coincidences.
+///
+/// The storage is a binary heap over a flat vector rather than a
+/// std::priority_queue: priority_queue::top() is const&, so extracting an
+/// event either copies the callback or const_casts around the API.  The flat
+/// heap sifts the front element to the back and moves it out, so pop() never
+/// copies a callback and move-only callables work throughout.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueCallback;
 
   void push(SimTime at, Callback fn);
 
@@ -41,7 +85,7 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 
 #include "ssr/common/time.h"
 #include "ssr/sim/event_queue.h"

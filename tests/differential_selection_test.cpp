@@ -1,0 +1,206 @@
+// Differential property suite for the scheduling hot path.
+//
+// The engine's optimized candidate enumeration (per-job reserved-idle
+// buckets, sorted preferred sets, priority-bucket merges) must make exactly
+// the placement decisions of the original full linear scans.  The
+// ReferenceSelector fixture forces the engine down the reference path while
+// forwarding every callback to the real hook, so running one seeded random
+// scenario twice — once with the hook as-is, once wrapped — and comparing
+// the complete (time, task, slot) event sequences checks the two
+// enumerations decision for decision.
+//
+// The scenarios randomize cluster size, background trace mix, locality
+// configuration and reservation policy (none / SSR manager with and without
+// deadlines / static carve-out / timeout holds), covering every
+// ReservedApprovalModel the engine special-cases.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ssr/core/naive_policies.h"
+#include "ssr/core/reservation_manager.h"
+#include "ssr/exp/scenario.h"
+#include "ssr/sched/engine.h"
+#include "ssr/sched/reference_selector.h"
+#include "ssr/workload/mlbench.h"
+#include "ssr/workload/tracegen.h"
+
+namespace ssr {
+namespace {
+
+// Deterministic per-trial parameter derivation (lint forbids unseeded RNG;
+// splitmix64 gives well-mixed streams from the trial index alone).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+enum class HookKind : std::uint64_t {
+  kNone = 0,       // NullReservationHook (NeverApprove model)
+  kSsrStrict,      // ReservationManager, P = 1
+  kSsrDeadline,    // ReservationManager, P < 1 (expiry machinery live)
+  kStatic,         // static carve-out (PriorityOverride, sentinel job id)
+  kTimeout,        // timeout holds (PriorityOverride)
+  kCount
+};
+
+struct TrialParams {
+  std::uint32_t nodes;
+  std::uint32_t slots_per_node;
+  TraceGenConfig bg;
+  std::uint32_t fg_parallelism;
+  SimTime fg_submit;
+  SimDuration locality_wait;
+  HookKind hook;
+  std::uint32_t static_slots;
+  SimDuration timeout;
+  std::uint64_t engine_seed;
+};
+
+TrialParams derive_params(std::uint64_t trial) {
+  std::uint64_t s = 0xabcdef1234567890ull ^ (trial * 0x51ul);
+  TrialParams p;
+  p.nodes = 2 + static_cast<std::uint32_t>(splitmix64(s) % 12);
+  p.slots_per_node = 1 + static_cast<std::uint32_t>(splitmix64(s) % 3);
+  p.bg.num_jobs = 3 + static_cast<std::uint32_t>(splitmix64(s) % 12);
+  p.bg.window = 60.0 + static_cast<double>(splitmix64(s) % 6) * 30.0;
+  p.bg.large_job_max_tasks = 30;  // bound per-trial work
+  p.bg.seed = 5 + trial * 77;
+  p.fg_parallelism = 4 + static_cast<std::uint32_t>(splitmix64(s) % 8);
+  p.fg_submit = p.bg.window * 0.25;
+  const double waits[] = {0.0, 1.0, 3.0};
+  p.locality_wait = waits[splitmix64(s) % 3];
+  p.hook = static_cast<HookKind>(splitmix64(s) %
+                                 static_cast<std::uint64_t>(HookKind::kCount));
+  // A carve-out of the whole cluster would starve the background class
+  // forever (a real failure mode of static reservation, but a wedged run,
+  // not a differential signal) — keep at least half the slots unreserved.
+  const std::uint32_t total_slots = p.nodes * p.slots_per_node;
+  p.static_slots = std::min<std::uint32_t>(
+      1 + static_cast<std::uint32_t>(splitmix64(s) % 4),
+      std::max<std::uint32_t>(1, total_slots / 2));
+  p.timeout = 5.0 + static_cast<double>(splitmix64(s) % 4) * 10.0;
+  p.engine_seed = 1 + trial;
+  return p;
+}
+
+std::unique_ptr<ReservationHook> make_hook(const TrialParams& p) {
+  switch (p.hook) {
+    case HookKind::kNone:
+      return std::make_unique<NullReservationHook>();
+    case HookKind::kSsrStrict: {
+      SsrConfig cfg;
+      cfg.min_reserving_priority = 1;
+      return std::make_unique<ReservationManager>(cfg);
+    }
+    case HookKind::kSsrDeadline: {
+      SsrConfig cfg;
+      cfg.min_reserving_priority = 1;
+      cfg.isolation_p = 0.4;
+      return std::make_unique<ReservationManager>(cfg);
+    }
+    case HookKind::kStatic:
+      return std::make_unique<StaticReservationHook>(p.static_slots, 1);
+    case HookKind::kTimeout:
+      return std::make_unique<TimeoutReservationHook>(p.timeout);
+    case HookKind::kCount:
+      break;
+  }
+  SSR_CHECK_MSG(false, "bad hook kind");
+  return nullptr;
+}
+
+// One scheduling event; doubles compare exactly, so equality of two event
+// vectors means bit-identical timing and placement.
+enum class EventKind : int { kStart = 0, kFinish, kKill };
+using SchedEvent = std::tuple<double, EventKind, TaskId, SlotId>;
+
+struct EventLog final : EngineObserver {
+  std::vector<SchedEvent> events;
+
+  void on_task_started(const Engine& e, TaskId t, SlotId s) override {
+    events.emplace_back(e.sim().now(), EventKind::kStart, t, s);
+  }
+  void on_task_finished(const Engine& e, TaskId t, SlotId s) override {
+    events.emplace_back(e.sim().now(), EventKind::kFinish, t, s);
+  }
+  void on_task_killed(const Engine& e, TaskId t, SlotId s) override {
+    events.emplace_back(e.sim().now(), EventKind::kKill, t, s);
+  }
+};
+
+std::vector<SchedEvent> run_trial(const TrialParams& p, bool reference) {
+  SchedConfig cfg;
+  cfg.locality_wait = p.locality_wait;
+  Engine engine(cfg, p.nodes, p.slots_per_node, p.engine_seed);
+  std::unique_ptr<ReservationHook> hook = make_hook(p);
+  if (reference) {
+    hook = std::make_unique<ReferenceSelector>(std::move(hook));
+  }
+  engine.set_reservation_hook(std::move(hook));
+  EventLog log;
+  engine.add_observer(&log);
+  for (JobSpec& spec : make_background_jobs(p.bg)) {
+    engine.submit(std::move(spec));
+  }
+  engine.submit(make_kmeans(p.fg_parallelism, 10, p.fg_submit));
+  engine.run();
+  return std::move(log.events);
+}
+
+std::string describe(const SchedEvent& e) {
+  std::ostringstream os;
+  os << std::hexfloat << "t=" << std::get<0>(e) << " kind="
+     << static_cast<int>(std::get<1>(e)) << ' ' << std::get<2>(e) << " on "
+     << std::get<3>(e);
+  return os.str();
+}
+
+TEST(DifferentialSelection, OptimizedMatchesReferenceOn200Scenarios) {
+  constexpr std::uint64_t kTrials = 200;
+  for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+    const TrialParams p = derive_params(trial);
+    const std::vector<SchedEvent> optimized = run_trial(p, false);
+    const std::vector<SchedEvent> reference = run_trial(p, true);
+    ASSERT_EQ(optimized.size(), reference.size())
+        << "trial " << trial << " (hook kind "
+        << static_cast<int>(p.hook) << "): event counts diverged";
+    for (std::size_t i = 0; i < optimized.size(); ++i) {
+      ASSERT_EQ(optimized[i], reference[i])
+          << "trial " << trial << " (hook kind " << static_cast<int>(p.hook)
+          << ") diverged at event " << i << ":\n  optimized: "
+          << describe(optimized[i]) << "\n  reference: "
+          << describe(reference[i]);
+    }
+  }
+}
+
+// The wrapper itself must be transparent: wrapping the hook twice (model
+// still Custom) reproduces the single-wrapped run exactly.
+TEST(DifferentialSelection, ReferenceSelectorIsTransparent) {
+  const TrialParams p = derive_params(7);
+  SchedConfig cfg;
+  cfg.locality_wait = p.locality_wait;
+  Engine engine(cfg, p.nodes, p.slots_per_node, p.engine_seed);
+  engine.set_reservation_hook(std::make_unique<ReferenceSelector>(
+      std::make_unique<ReferenceSelector>(make_hook(p))));
+  EventLog log;
+  engine.add_observer(&log);
+  for (JobSpec& spec : make_background_jobs(p.bg)) {
+    engine.submit(std::move(spec));
+  }
+  engine.submit(make_kmeans(p.fg_parallelism, 10, p.fg_submit));
+  engine.run();
+  EXPECT_EQ(log.events, run_trial(p, true));
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,162 @@
+// Golden-replay regression suite: pins the simulator's end-to-end metric
+// digests for figure-shaped scenarios to committed reference files.
+//
+// Each digest captures, in hexfloat (bit-exact) form, the per-job JCT
+// vector, per-job busy and reserved-idle slot-seconds, the run totals, and
+// an audit-clean marker (under -DSSR_AUDIT=ON builds the run would have
+// thrown on any invariant violation before reaching the digest).  Any
+// scheduling change that perturbs even one placement decision shifts these
+// numbers, so the suite locks the hot-path index rewrite to the behaviour
+// of the original full-scan scheduler.
+//
+// Regenerate after an *intentional* behaviour change with:
+//   SSR_UPDATE_GOLDEN=1 ./tests/golden_replay_test
+// and review the digest diff like any other code change.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ssr/exp/scenario.h"
+#include "ssr/workload/mlbench.h"
+#include "ssr/workload/sqlbench.h"
+#include "ssr/workload/tracegen.h"
+
+namespace ssr {
+namespace {
+
+// One run's contribution to a digest.  Hexfloat round-trips doubles exactly,
+// so a digest match implies bit-identical metrics, not just close ones.
+void append_run(std::ostringstream& out, const std::string& title,
+                const RunResult& run) {
+  out << std::hexfloat;
+  out << "run " << title << " jobs=" << run.jobs.size() << '\n';
+  for (const JobResult& j : run.jobs) {
+    out << "  job " << j.id << ' ' << j.name << " priority=" << j.priority
+        << " jct=" << j.jct << " busy=" << j.busy_seconds
+        << " reserved_idle=" << j.reserved_idle_seconds << '\n';
+  }
+  out << "  makespan " << run.makespan << '\n';
+  out << "  busy_time " << run.busy_time << '\n';
+  out << "  reserved_idle_time " << run.reserved_idle_time << '\n';
+  out << "  tasks started=" << run.task_totals.tasks_started
+      << " finished=" << run.task_totals.tasks_finished
+      << " killed=" << run.task_totals.tasks_killed
+      << " copies=" << run.task_totals.copies_started
+      << " local=" << run.task_totals.local_starts << '\n';
+  out << "  reservations_expired " << run.reservations_expired << '\n';
+  // The run completed without a CheckError; in -DSSR_AUDIT=ON builds this
+  // line also certifies the invariant auditor saw no violation.
+  out << "  audit_clean 1\n";
+}
+
+void compare_golden(const std::string& file, const std::string& actual) {
+  const std::string path = std::string(SSR_GOLDEN_DIR) + "/" + file;
+  if (std::getenv("SSR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — regenerate with SSR_UPDATE_GOLDEN=1 ./tests/golden_replay_test";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), actual)
+      << "metric digest diverged from " << path
+      << "; if the behaviour change is intentional, regenerate with "
+         "SSR_UPDATE_GOLDEN=1 and review the diff";
+}
+
+// Fig. 12 shape: 50x2 cluster, trace background, one high-priority KMeans
+// foreground; contrasted with and without strict SSR.
+TEST(GoldenReplay, Fig12ShapedIsolation) {
+  const ClusterSpec cluster{.nodes = 50, .slots_per_node = 2};
+  TraceGenConfig bg;
+  bg.num_jobs = 12;
+  bg.window = 450.0;
+  bg.seed = 1001;
+
+  RunOptions base;
+  base.seed = 1;
+  RunOptions with_ssr = base;
+  with_ssr.ssr = SsrConfig{};
+  with_ssr.ssr->min_reserving_priority = 1;
+
+  std::vector<JobSpec> jobs = make_background_jobs(bg);
+  jobs.push_back(make_kmeans(20, 10, bg.window * 0.25));
+
+  std::ostringstream digest;
+  append_run(digest, "fig12/nossr", run_scenario(cluster, jobs, base));
+  append_run(digest, "fig12/ssr",
+             run_scenario(cluster, std::move(jobs), with_ssr));
+  compare_golden("fig12.golden", digest.str());
+}
+
+// Fig. 14 shape: the isolation-utilization knob.  P < 1 arms reservation
+// deadlines, so this digest also pins the expiry machinery.
+TEST(GoldenReplay, Fig14ShapedTradeoff) {
+  const ClusterSpec cluster{.nodes = 50, .slots_per_node = 2};
+  TraceGenConfig bg;
+  bg.num_jobs = 12;
+  bg.window = 450.0;
+  bg.seed = 2001;
+
+  std::ostringstream digest;
+  for (const double p : {1.0, 0.4, 0.05}) {
+    RunOptions o;
+    o.seed = 1;
+    o.ssr = SsrConfig{};
+    o.ssr->min_reserving_priority = 1;
+    o.ssr->isolation_p = p;
+    std::vector<JobSpec> jobs = make_background_jobs(bg);
+    jobs.push_back(make_svm(20, 10, bg.window * 0.25));
+    std::ostringstream title;
+    title << "fig14/P=" << p;
+    append_run(digest, title.str(),
+               run_scenario(cluster, std::move(jobs), o));
+  }
+  compare_golden("fig14.golden", digest.str());
+}
+
+// Fig. 15 shape (scaled 1/8): 125 nodes x 4 slots, trace background, SQL
+// foreground queries — the scenario the hot-path indexes were built for.
+TEST(GoldenReplay, Fig15ShapedLargeScale) {
+  const ClusterSpec cluster{.nodes = 125, .slots_per_node = 4};
+  TraceGenConfig bg;
+  bg.num_jobs = 500;
+  bg.window = 1800.0;
+  bg.seed = 43;
+
+  std::ostringstream digest;
+  for (int pass = 0; pass < 2; ++pass) {
+    RunOptions o;
+    o.sched.locality_wait = 3.0;
+    o.sched.locality_slowdown = 5.0;
+    o.seed = 1;
+    if (pass == 1) {
+      o.ssr = SsrConfig{};
+      o.ssr->min_reserving_priority = 1;
+    }
+    std::vector<JobSpec> jobs = make_background_jobs(bg);
+    for (std::uint32_t q = 0; q < 10; ++q) {
+      SqlJobParams p;
+      p.query_index = q;
+      p.base_parallelism = 20;
+      p.priority = 10;
+      p.submit_time = bg.window * 0.2 + 30.0 * q;
+      jobs.push_back(make_sql_query(p));
+    }
+    append_run(digest, pass == 0 ? "fig15/nossr" : "fig15/ssr",
+               run_scenario(cluster, std::move(jobs), o));
+  }
+  compare_golden("fig15.golden", digest.str());
+}
+
+}  // namespace
+}  // namespace ssr

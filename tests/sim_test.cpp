@@ -179,6 +179,67 @@ TEST(Cluster, ForgetJobOutputs) {
   EXPECT_TRUE(c.slot(s).has_output(StageId{JobId{4}, 0}));
 }
 
+TEST(Cluster, ReservedIdleIndexesTrackTransitions) {
+  Cluster c(2, 2);
+  Reservation r1;
+  r1.job = JobId{1};
+  r1.priority = 5;
+  Reservation r2;
+  r2.job = JobId{2};
+  r2.priority = 3;
+  c.reserve(SlotId{2}, r1, 0.0);
+  c.reserve(SlotId{0}, r1, 0.0);
+  c.reserve(SlotId{1}, r2, 0.0);
+
+  // Per-job view: id-ordered subsequence of the reserved set.
+  EXPECT_EQ(c.reserved_idle_slots_of(JobId{1}),
+            (std::set<SlotId>{SlotId{0}, SlotId{2}}));
+  EXPECT_EQ(c.reserved_idle_slots_of(JobId{2}), (std::set<SlotId>{SlotId{1}}));
+  EXPECT_TRUE(c.reserved_idle_slots_of(JobId{9}).empty());
+
+  // Priority buckets, each id-ordered.
+  ASSERT_EQ(c.reserved_idle_by_priority().size(), 2u);
+  EXPECT_EQ(c.reserved_idle_by_priority().at(5),
+            (std::set<SlotId>{SlotId{0}, SlotId{2}}));
+  EXPECT_EQ(c.reserved_idle_by_priority().at(3),
+            (std::set<SlotId>{SlotId{1}}));
+
+  // Consuming a reservation by task start and releasing one both unindex;
+  // drained buckets disappear entirely.
+  c.start_task(SlotId{0}, task_of(1, 0, 0), 1.0);
+  c.release_reservation(SlotId{1}, 1.0);
+  EXPECT_EQ(c.reserved_idle_slots_of(JobId{1}), (std::set<SlotId>{SlotId{2}}));
+  EXPECT_TRUE(c.reserved_idle_slots_of(JobId{2}).empty());
+  EXPECT_EQ(c.reserved_idle_by_priority().count(3), 0u);
+  EXPECT_EQ(c.reserved_idle_by_priority().at(5), (std::set<SlotId>{SlotId{2}}));
+}
+
+TEST(Cluster, FitsAnySlotUsesDistinctCapacities) {
+  Cluster homo(2, 2);
+  EXPECT_TRUE(homo.fits_any_slot(Resources{1.0, 1.0}));
+  EXPECT_FALSE(homo.fits_any_slot(Resources{1.5, 1.0}));
+
+  const Cluster hetero(std::vector<std::vector<Resources>>{
+      {{1.0, 1.0}, {1.0, 1.0}}, {{2.0, 4.0}}});
+  EXPECT_TRUE(hetero.fits_any_slot(Resources{2.0, 4.0}));
+  EXPECT_TRUE(hetero.fits_any_slot(Resources{1.0, 2.0}));
+  EXPECT_FALSE(hetero.fits_any_slot(Resources{2.0, 5.0}));
+}
+
+TEST(Cluster, ForgetJobOutputsOnlyVisitsOwningSlots) {
+  // Two jobs leave outputs on disjoint slots; forgetting one must not
+  // disturb the other's residency (exercises the per-job output index).
+  Cluster c(2, 2);
+  c.start_task(SlotId{0}, task_of(1, 0, 0), 0.0);
+  c.start_task(SlotId{1}, task_of(2, 0, 0), 0.0);
+  c.finish_task(SlotId{0}, 1.0);
+  c.finish_task(SlotId{1}, 1.0);
+  c.forget_job_outputs(JobId{1});
+  c.forget_job_outputs(JobId{1});  // idempotent: index entry already gone
+  EXPECT_FALSE(c.slot(SlotId{0}).has_output(StageId{JobId{1}, 0}));
+  EXPECT_TRUE(c.slot(SlotId{1}).has_output(StageId{JobId{2}, 0}));
+}
+
 TEST(Cluster, UtilizationAggregatesAcrossSlots) {
   Cluster c(1, 2);
   c.start_task(SlotId{0}, task_of(0, 0, 0), 0.0);

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare BENCH_sched.json perf reports against a committed baseline.
+
+Usage:
+    check_bench_regression.py --baseline bench/baselines/BENCH_sched.json \
+        [--threshold 0.25] current1.json [current2.json ...]
+
+Every record in the baseline must appear in the union of the current
+reports (so bench coverage cannot silently shrink), and its measured
+items_per_second must not drop more than ``threshold`` relative to the
+baseline value.  New records only present in the current reports are
+reported informationally and do not fail the check — commit a refreshed
+baseline to start tracking them.
+
+Exit status: 0 = no regression, 1 = regression or schema problem.
+"""
+import argparse
+import json
+import sys
+
+SCHEMA = "ssr-bench-sched-v1"
+
+
+def load_records(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"{path}: expected schema '{SCHEMA}', got {doc.get('schema')!r}")
+    return {rec["name"]: rec for rec in doc.get("records", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional throughput drop (default 0.25)",
+    )
+    parser.add_argument("current", nargs="+")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    current = {}
+    for path in args.current:
+        current.update(load_records(path))
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: present in baseline but not measured")
+            continue
+        base_ips = float(base.get("items_per_second", 0.0))
+        cur_ips = float(cur.get("items_per_second", 0.0))
+        if base_ips <= 0.0:
+            print(f"  ? {name}: baseline has no throughput; skipping")
+            continue
+        ratio = cur_ips / base_ips
+        status = "ok"
+        if ratio < 1.0 - args.threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {cur_ips:.0f} items/s vs baseline {base_ips:.0f} "
+                f"({(1.0 - ratio) * 100.0:.1f}% drop > "
+                f"{args.threshold * 100.0:.0f}% allowed)"
+            )
+        print(f"  {status:>10}  {name}: {ratio * 100.0:6.1f}% of baseline")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"        new  {name}: not in baseline (not checked)")
+
+    if failures:
+        print("\nperf regressions detected:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nno perf regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
