@@ -25,6 +25,8 @@ LedgerSlotState to_ledger(SlotState s) {
       return LedgerSlotState::Busy;
     case SlotState::ReservedIdle:
       return LedgerSlotState::ReservedIdle;
+    case SlotState::Dead:
+      return LedgerSlotState::Dead;
   }
   return LedgerSlotState::Idle;
 }
@@ -37,6 +39,8 @@ const char* state_name(LedgerSlotState s) {
       return "Busy";
     case LedgerSlotState::ReservedIdle:
       return "ReservedIdle";
+    case LedgerSlotState::Dead:
+      return "Dead";
   }
   return "?";
 }
@@ -58,6 +62,7 @@ SlotLedger& InvariantAuditor::ledger(const Engine& engine) {
     ledger_.emplace(n);
     busy_since_.assign(n, kTimeZero);
     reserved_since_.assign(n, kTimeZero);
+    dead_since_.assign(n, kTimeZero);
   }
   return *ledger_;
 }
@@ -85,6 +90,7 @@ void InvariantAuditor::cross_check(const Engine& engine) {
   std::uint32_t idle = 0;
   std::uint32_t busy = 0;
   std::uint32_t reserved = 0;
+  std::uint32_t dead = 0;
   for (std::uint32_t i = 0; i < cluster.num_slots(); ++i) {
     const SlotId id{i};
     const SlotState actual = cluster.slot(id).state();
@@ -110,6 +116,9 @@ void InvariantAuditor::cross_check(const Engine& engine) {
       case SlotState::ReservedIdle:
         ++reserved;
         break;
+      case SlotState::Dead:
+        ++dead;
+        break;
     }
     const bool in_idle = cluster.idle_slots().contains(id);
     const bool in_reserved = cluster.reserved_idle_slots().contains(id);
@@ -117,8 +126,9 @@ void InvariantAuditor::cross_check(const Engine& engine) {
                            !in_reserved) ||
                           (actual == SlotState::ReservedIdle && in_reserved &&
                            !in_idle) ||
-                          (actual == SlotState::Busy && !in_idle &&
-                           !in_reserved);
+                          ((actual == SlotState::Busy ||
+                            actual == SlotState::Dead) &&
+                           !in_idle && !in_reserved);
     if (!index_ok) {
       Violation v;
       v.invariant = kSlotConservation;
@@ -131,7 +141,7 @@ void InvariantAuditor::cross_check(const Engine& engine) {
       lg.record(v);
     }
   }
-  const std::uint32_t total = idle + busy + reserved;
+  const std::uint32_t total = idle + busy + reserved + dead;
   const bool sizes_ok =
       cluster.idle_slots().size() == idle &&
       cluster.reserved_idle_slots().size() == reserved &&
@@ -141,9 +151,10 @@ void InvariantAuditor::cross_check(const Engine& engine) {
     v.invariant = kSlotConservation;
     v.time = now;
     v.subject = "cluster";
-    v.expected = "idle + busy + reserved-idle == " + str(cluster.num_slots());
-    v.actual = str(idle) + " + " + str(busy) + " + " + str(reserved) +
-               " (idle index " + str(cluster.idle_slots().size()) +
+    v.expected =
+        "idle + busy + reserved-idle + dead == " + str(cluster.num_slots());
+    v.actual = str(idle) + " + " + str(busy) + " + " + str(reserved) + " + " +
+               str(dead) + " (idle index " + str(cluster.idle_slots().size()) +
                ", reserved index " +
                str(cluster.reserved_idle_slots().size()) + ")";
     lg.record(v);
@@ -218,6 +229,48 @@ void InvariantAuditor::on_task_killed(const Engine& engine, TaskId task,
   after_event(engine);
 }
 
+void InvariantAuditor::on_task_failed(const Engine& engine, TaskId task,
+                                      SlotId slot) {
+  // Same mirror transition as a race-loss kill: the attempt ends, the slot
+  // empties (it goes Dead in the following on_slot_failed event).
+  SlotLedger& lg = ledger(engine);
+  const SimTime now = engine.sim().now();
+  if (lg.slot_state(slot) == LedgerSlotState::Busy) {
+    busy_seconds_ += now - busy_since_[slot.v];
+  }
+  lg.on_kill(slot, task, now);
+  after_event(engine);
+}
+
+void InvariantAuditor::on_task_requeued(const Engine& engine, TaskId) {
+  ledger(engine);
+  after_event(engine);
+}
+
+void InvariantAuditor::on_stage_invalidated(const Engine& engine,
+                                            StageId stage) {
+  ledger(engine).on_stage_invalidated(stage, engine.sim().now());
+  after_event(engine);
+}
+
+void InvariantAuditor::on_slot_failed(const Engine& engine, SlotId slot) {
+  SlotLedger& lg = ledger(engine);
+  const SimTime now = engine.sim().now();
+  lg.on_fail(slot, now);
+  dead_since_[slot.v] = now;
+  after_event(engine);
+}
+
+void InvariantAuditor::on_slot_recovered(const Engine& engine, SlotId slot) {
+  SlotLedger& lg = ledger(engine);
+  const SimTime now = engine.sim().now();
+  if (lg.slot_state(slot) == LedgerSlotState::Dead) {
+    dead_seconds_ += now - dead_since_[slot.v];
+  }
+  lg.on_recover(slot, now);
+  after_event(engine);
+}
+
 void InvariantAuditor::on_slot_reserved(const Engine& engine, SlotId slot,
                                         const Reservation& reservation) {
   SlotLedger& lg = ledger(engine);
@@ -266,8 +319,44 @@ void InvariantAuditor::on_run_complete(const Engine& engine) {
     }
   };
   check_total("busy slot-seconds", cluster.total_busy_time(), busy_seconds_);
+  // Close the still-open reserved-idle intervals (e.g. a static carve-out
+  // with an infinite deadline holds its slots through end of run).
+  double reserved_observed = reserved_seconds_;
+  for (std::uint32_t i = 0; i < cluster.num_slots(); ++i) {
+    if (lg.slot_state(SlotId{i}) == LedgerSlotState::ReservedIdle) {
+      reserved_observed += now - reserved_since_[i];
+    }
+  }
   check_total("reserved-idle slot-seconds", cluster.total_reserved_idle_time(),
-              reserved_seconds_);
+              reserved_observed);
+  // Close the still-open dead intervals of slots that never recovered, so
+  // the dead-time comparison covers permanent failures too.
+  double dead_observed = dead_seconds_;
+  for (std::uint32_t i = 0; i < cluster.num_slots(); ++i) {
+    if (lg.slot_state(SlotId{i}) == LedgerSlotState::Dead) {
+      dead_observed += now - dead_since_[i];
+    }
+  }
+  check_total("dead slot-seconds", cluster.total_dead_time(), dead_observed);
+  // No task lost: a failure may kill attempts and invalidate outputs, but
+  // recovery must leave every submitted stage complete by end of run.
+  for (std::uint32_t j = 0; j < engine.num_jobs(); ++j) {
+    const JobId job{j};
+    const std::uint32_t stages = engine.graph(job).num_stages();
+    for (std::uint32_t s = 0; s < stages; ++s) {
+      const StageRuntime* st = engine.stage_runtime(StageId{job, s});
+      if (st != nullptr && !st->complete()) {
+        Violation v;
+        v.invariant = kTaskLost;
+        v.time = now;
+        v.subject = str(StageId{job, s});
+        v.expected = "every submitted stage complete at end of run";
+        v.actual = str(st->finished_count()) + "/" + str(st->parallelism()) +
+                   " tasks finished";
+        lg.record(v);
+      }
+    }
+  }
   after_event(engine);
 }
 

@@ -13,9 +13,13 @@
 //  * event-time monotonicity across the whole observer stream;
 //  * barrier ordering: no downstream-phase task starts before every upstream
 //    task finished;
-//  * slot-time accounting: the busy / reserved-idle slot-seconds the event
-//    stream implies (the same stream metrics/collectors consume) match the
-//    cluster's own accounting at end of run.
+//  * slot-time accounting: the busy / reserved-idle / dead slot-seconds the
+//    event stream implies (the same stream metrics/collectors consume) match
+//    the cluster's own accounting at end of run;
+//  * failure safety: no task starts, claim, or reservation ever touches a
+//    Dead slot, and no logical task is lost — at end of run every submitted
+//    stage is complete even when fault injection killed attempts and
+//    invalidated resident outputs.
 //
 // Violations produce structured audit::Violation reports; with
 // `throw_on_violation` (the default, and what `-DSSR_AUDIT=ON` builds use via
@@ -67,6 +71,11 @@ class InvariantAuditor : public EngineObserver {
   void on_task_started(const Engine&, TaskId, SlotId) override;
   void on_task_finished(const Engine&, TaskId, SlotId) override;
   void on_task_killed(const Engine&, TaskId, SlotId) override;
+  void on_task_failed(const Engine&, TaskId, SlotId) override;
+  void on_task_requeued(const Engine&, TaskId) override;
+  void on_stage_invalidated(const Engine&, StageId) override;
+  void on_slot_failed(const Engine&, SlotId) override;
+  void on_slot_recovered(const Engine&, SlotId) override;
   void on_slot_reserved(const Engine&, SlotId, const Reservation&) override;
   void on_reservation_released(const Engine&, SlotId,
                                ReservationEndReason) override;
@@ -94,8 +103,10 @@ class InvariantAuditor : public EngineObserver {
   // Slot-time accounting mirrors (indexed by slot id).
   std::vector<SimTime> busy_since_;
   std::vector<SimTime> reserved_since_;
+  std::vector<SimTime> dead_since_;
   double busy_seconds_ = 0.0;
   double reserved_seconds_ = 0.0;
+  double dead_seconds_ = 0.0;
 };
 
 }  // namespace ssr::audit

@@ -28,6 +28,8 @@ const char* state_name(LedgerSlotState s) {
       return "Busy";
     case LedgerSlotState::ReservedIdle:
       return "ReservedIdle";
+    case LedgerSlotState::Dead:
+      return "Dead";
   }
   return "?";
 }
@@ -74,7 +76,9 @@ void SlotLedger::on_reserve(SlotId slot, JobId job, int priority,
                             SimTime deadline, SimTime now) {
   touch(now);
   SlotMirror& m = mirror(slot);
-  if (m.state != LedgerSlotState::Idle) {
+  if (m.state == LedgerSlotState::Dead) {
+    flag(kDeadSlotUse, now, str(slot), "a live slot to reserve", "Dead");
+  } else if (m.state != LedgerSlotState::Idle) {
     flag(kDoubleReserve, now, str(slot), "Idle slot to reserve",
          std::string(state_name(m.state)) +
              (m.reservation ? " (reserved by " + str(m.reservation->job) + ")"
@@ -90,7 +94,10 @@ void SlotLedger::on_claim(SlotId slot, TaskId task, int priority,
   touch(now);
   check_stage_known(task, now);
   SlotMirror& m = mirror(slot);
-  if (m.state != LedgerSlotState::ReservedIdle || !m.reservation) {
+  if (m.state == LedgerSlotState::Dead) {
+    flag(kDeadSlotUse, now, str(task), "a live slot to claim",
+         str(slot) + " is Dead");
+  } else if (m.state != LedgerSlotState::ReservedIdle || !m.reservation) {
     flag(kDoubleClaim, now, str(slot),
          "an active reservation to claim for " + str(task),
          std::string(state_name(m.state)) + " with no active reservation");
@@ -115,7 +122,10 @@ void SlotLedger::on_start(SlotId slot, TaskId task, SimTime now) {
   touch(now);
   check_stage_known(task, now);
   SlotMirror& m = mirror(slot);
-  if (m.state == LedgerSlotState::Busy) {
+  if (m.state == LedgerSlotState::Dead) {
+    flag(kDeadSlotUse, now, str(task), "a live slot to start on",
+         str(slot) + " is Dead");
+  } else if (m.state == LedgerSlotState::Busy) {
     flag(kTaskLifecycle, now, str(task), "an idle slot to start on",
          str(slot) + " already running " +
              (m.task ? str(*m.task) : std::string("?")));
@@ -177,6 +187,32 @@ void SlotLedger::on_release(SlotId slot, LedgerRelease kind, SimTime now) {
   m.task.reset();
 }
 
+void SlotLedger::on_fail(SlotId slot, SimTime now) {
+  touch(now);
+  SlotMirror& m = mirror(slot);
+  if (m.state != LedgerSlotState::Idle) {
+    flag(kDeadSlotUse, now, str(slot),
+         "a drained (Idle) slot at failure time",
+         std::string(state_name(m.state)) +
+             (m.task ? " running " + str(*m.task) : std::string()));
+  }
+  m.state = LedgerSlotState::Dead;
+  m.reservation.reset();
+  m.task.reset();
+}
+
+void SlotLedger::on_recover(SlotId slot, SimTime now) {
+  touch(now);
+  SlotMirror& m = mirror(slot);
+  if (m.state != LedgerSlotState::Dead) {
+    flag(kDeadSlotUse, now, str(slot), "a Dead slot to recover",
+         state_name(m.state));
+  }
+  m.state = LedgerSlotState::Idle;
+  m.reservation.reset();
+  m.task.reset();
+}
+
 void SlotLedger::on_stage_submitted(StageId stage,
                                     const std::vector<StageId>& parents,
                                     SimTime now) {
@@ -203,6 +239,14 @@ void SlotLedger::on_stage_finished(StageId stage, SimTime now) {
   if (!finished_stages_.insert(stage).second) {
     flag(kBarrierOrdering, now, str(stage), "a single completion",
          "stage finished twice");
+  }
+}
+
+void SlotLedger::on_stage_invalidated(StageId stage, SimTime now) {
+  touch(now);
+  if (finished_stages_.erase(stage) == 0) {
+    flag(kBarrierOrdering, now, str(stage),
+         "invalidation of a finished stage", "stage was not finished");
   }
 }
 

@@ -26,7 +26,7 @@ namespace ssr::audit {
 
 /// Mirror of a slot's state (kept separate from ssr::SlotState so the ledger
 /// never depends on sim/cluster headers).
-enum class LedgerSlotState { Idle, Busy, ReservedIdle };
+enum class LedgerSlotState { Idle, Busy, ReservedIdle, Dead };
 
 /// How a reservation ended without being claimed.
 enum class LedgerRelease { Expired, Released };
@@ -57,11 +57,23 @@ class SlotLedger {
   /// ReservedIdle -> Idle without a claim (expiry or explicit release).
   void on_release(SlotId slot, LedgerRelease kind, SimTime now);
 
+  /// Idle -> Dead (fault injection).  The engine drains the slot first, so
+  /// arriving here in any other state is a dead-slot-use violation.
+  void on_fail(SlotId slot, SimTime now);
+
+  /// Dead -> Idle.
+  void on_recover(SlotId slot, SimTime now);
+
   /// Barrier tracking: `parents` must all be finished when `stage` is
   /// submitted; tasks may only start for submitted stages.
   void on_stage_submitted(StageId stage, const std::vector<StageId>& parents,
                           SimTime now);
   void on_stage_finished(StageId stage, SimTime now);
+
+  /// A finished stage lost outputs to a failure and re-opened; it may finish
+  /// again.  Invalidating a stage the ledger never saw finish is a
+  /// barrier-ordering violation.
+  void on_stage_invalidated(StageId stage, SimTime now);
 
   // --- Inspection -----------------------------------------------------------
 

@@ -46,6 +46,12 @@ inline constexpr const char* kTaskLifecycle = "task-lifecycle";
 /// Observed busy / reserved-idle slot-seconds disagree with the cluster's
 /// accounting (metrics/collectors consume the same event stream).
 inline constexpr const char* kSlotAccounting = "slot-accounting";
+/// A dead slot was used: reserve/start/claim on a Dead slot, failure of a
+/// non-drained slot, or recovery of a slot that was not Dead.
+inline constexpr const char* kDeadSlotUse = "dead-slot-use";
+/// End of run with a submitted stage still incomplete — a failure lost a
+/// task and recovery never re-ran it.
+inline constexpr const char* kTaskLost = "task-lost";
 
 /// One invariant violation, ready for logging or test assertions.
 struct Violation {

@@ -51,6 +51,11 @@ void StaticReservationHook::on_stage_submitted(Engine& engine, StageId) {
   replenish(engine);
 }
 
+void StaticReservationHook::on_slot_failed(Engine& engine, SlotId slot) {
+  // A carve-out slot died; re-establish the target from surviving capacity.
+  if (class_slots_.erase(slot) > 0) replenish(engine);
+}
+
 bool StaticReservationHook::approve(const Engine& engine, SlotId slot,
                                     JobId job, int priority) const {
   const Slot& s = engine.cluster().slot(slot);
@@ -62,6 +67,7 @@ bool StaticReservationHook::approve(const Engine& engine, SlotId slot,
       return r.job == job || priority > r.priority;
     }
     case SlotState::Busy:
+    case SlotState::Dead:
       return false;
   }
   return false;
@@ -107,6 +113,14 @@ void TimeoutReservationHook::on_slot_idle(Engine&, SlotId slot) {
   }
 }
 
+void TimeoutReservationHook::on_slot_failed(Engine&, SlotId slot) {
+  auto it = held_.find(slot);
+  if (it != held_.end()) {
+    by_job_[it->second].erase(slot);
+    held_.erase(it);
+  }
+}
+
 bool TimeoutReservationHook::approve(const Engine& engine, SlotId slot,
                                      JobId job, int priority) const {
   const Slot& s = engine.cluster().slot(slot);
@@ -118,6 +132,7 @@ bool TimeoutReservationHook::approve(const Engine& engine, SlotId slot,
       return r.job == job || priority > r.priority;
     }
     case SlotState::Busy:
+    case SlotState::Dead:
       return false;
   }
   return false;

@@ -242,6 +242,17 @@ void ReservationManager::on_slot_idle(Engine& engine, SlotId slot) {
   try_prereserve(engine, slot);
 }
 
+void ReservationManager::on_slot_failed(Engine&, SlotId slot) {
+  // The reservation (if any) was broken by the failure, not expired: drop
+  // the record without touching the expiry counter.  No pre-reservation
+  // either — the slot is Dead.
+  auto it = reserved_.find(slot);
+  if (it != reserved_.end()) {
+    by_job_[it->second.job].erase(slot);
+    reserved_.erase(it);
+  }
+}
+
 bool ReservationManager::approve(const Engine& engine, SlotId slot, JobId job,
                                  int priority) const {
   const Slot& s = engine.cluster().slot(slot);
@@ -255,6 +266,7 @@ bool ReservationManager::approve(const Engine& engine, SlotId slot, JobId job,
       return r.job == job || priority > r.priority;
     }
     case SlotState::Busy:
+    case SlotState::Dead:
       return false;
   }
   return false;

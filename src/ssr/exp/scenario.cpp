@@ -50,6 +50,16 @@ RunResult run_scenario(const ClusterSpec& cluster, std::vector<JobSpec> jobs,
   }
   TaskStatsCollector task_stats;
   engine.add_observer(&task_stats);
+  RecoveryStatsCollector recovery_stats;
+  engine.add_observer(&recovery_stats);
+
+  // Attach the injector only for non-empty schedules: attaching schedules
+  // events, and a failure-free run must stay bit-identical to one that never
+  // saw an injector.
+  FailureInjector injector(options.failures);
+  if (!options.failures.empty()) {
+    injector.attach(engine.sim(), engine);
+  }
 
 #if defined(SSR_AUDIT_ENABLED)
   // -DSSR_AUDIT=ON: every scenario run (each test case and bench/sweep
@@ -93,6 +103,8 @@ RunResult run_scenario(const ClusterSpec& cluster, std::vector<JobSpec> jobs,
     result.reservations_expired = manager->reservations_expired();
   }
   result.task_totals = task_stats.totals();
+  result.recovery = recovery_stats.stats();
+  result.dead_time = engine.cluster().total_dead_time();
   return result;
 }
 

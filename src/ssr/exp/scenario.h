@@ -15,6 +15,7 @@
 #include "ssr/dag/job.h"
 #include "ssr/metrics/collectors.h"
 #include "ssr/sched/types.h"
+#include "ssr/sim/failure_injector.h"
 
 namespace ssr {
 
@@ -35,6 +36,10 @@ struct RunOptions {
   /// copied across many trials, each run owning a fresh hook.
   std::function<std::unique_ptr<ReservationHook>()> hook_factory;
   std::uint64_t seed = 1;
+  /// Deterministic fault-injection schedule (sim/failure_injector.h); empty
+  /// runs the scenario failure-free with bit-identical behaviour to a run
+  /// that never attached an injector.
+  FailureSchedule failures;
 };
 
 struct JobResult {
@@ -60,6 +65,11 @@ struct RunResult {
   /// ReservationManager).
   std::uint64_t reservations_expired = 0;
   JobTaskStats task_totals;
+  /// Fault-injection outcome counters (all zero in failure-free runs).
+  RecoveryStats recovery;
+  /// Slot-seconds spent Dead (excluded from the utilization denominator a
+  /// failure-aware caller should use).
+  double dead_time = 0.0;
 
   /// JCT of the first job whose name matches exactly; throws if absent.
   double jct_of(const std::string& name) const;

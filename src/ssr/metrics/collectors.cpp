@@ -31,6 +31,11 @@ void RunningTasksSeries::on_task_killed(const Engine& engine, TaskId task,
   record(engine, task.stage.job, -1);
 }
 
+void RunningTasksSeries::on_task_failed(const Engine& engine, TaskId task,
+                                        SlotId) {
+  record(engine, task.stage.job, -1);
+}
+
 const std::vector<std::pair<SimTime, int>>& RunningTasksSeries::changes(
     JobId job) const {
   static const std::vector<std::pair<SimTime, int>> kEmpty;
@@ -87,6 +92,12 @@ void TaskStatsCollector::on_task_killed(const Engine& engine, TaskId task,
   record_busy(engine, task);
 }
 
+void TaskStatsCollector::on_task_failed(const Engine& engine, TaskId task,
+                                        SlotId) {
+  ++by_job_[task.stage.job].tasks_failed;
+  record_busy(engine, task);
+}
+
 void TaskStatsCollector::record_busy(const Engine& engine, TaskId task) {
   auto it = started_at_.find(task);
   SSR_CHECK_MSG(it != started_at_.end(), "attempt ended without a start");
@@ -106,12 +117,62 @@ JobTaskStats TaskStatsCollector::totals() const {
     t.tasks_started += s.tasks_started;
     t.tasks_finished += s.tasks_finished;
     t.tasks_killed += s.tasks_killed;
+    t.tasks_failed += s.tasks_failed;
     t.copies_started += s.copies_started;
     t.copies_won += s.copies_won;
     t.local_starts += s.local_starts;
     t.busy_seconds += s.busy_seconds;
   }
   return t;
+}
+
+// --- RecoveryStatsCollector -----------------------------------------------------
+
+namespace {
+
+std::tuple<JobId, std::uint32_t, std::uint32_t> logical_task(TaskId task) {
+  return {task.stage.job, task.stage.index, task.index};
+}
+
+}  // namespace
+
+void RecoveryStatsCollector::on_task_failed(const Engine&, TaskId task,
+                                            SlotId) {
+  ++stats_.tasks_failed;
+  failed_pending_.insert(logical_task(task));
+}
+
+void RecoveryStatsCollector::on_task_requeued(const Engine&, TaskId task) {
+  ++stats_.tasks_requeued;
+  failed_pending_.erase(logical_task(task));
+}
+
+void RecoveryStatsCollector::on_task_finished(const Engine&, TaskId task,
+                                              SlotId) {
+  // A finish of a logical task with an open failed attempt: the surviving
+  // twin completed the work, so the failure was masked without a re-run.
+  if (failed_pending_.erase(logical_task(task)) > 0) {
+    ++stats_.failures_masked;
+  }
+}
+
+void RecoveryStatsCollector::on_stage_invalidated(const Engine&, StageId) {
+  ++stats_.stages_invalidated;
+}
+
+void RecoveryStatsCollector::on_slot_failed(const Engine&, SlotId) {
+  ++stats_.slots_failed;
+}
+
+void RecoveryStatsCollector::on_slot_recovered(const Engine&, SlotId) {
+  ++stats_.slots_recovered;
+}
+
+void RecoveryStatsCollector::on_reservation_released(
+    const Engine&, SlotId, ReservationEndReason reason) {
+  if (reason == ReservationEndReason::SlotFailed) {
+    ++stats_.reservations_broken;
+  }
 }
 
 // --- JctCollector ---------------------------------------------------------------

@@ -6,7 +6,9 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +26,7 @@ class RunningTasksSeries : public EngineObserver {
   void on_task_started(const Engine&, TaskId, SlotId) override;
   void on_task_finished(const Engine&, TaskId, SlotId) override;
   void on_task_killed(const Engine&, TaskId, SlotId) override;
+  void on_task_failed(const Engine&, TaskId, SlotId) override;
 
   /// Step-change log for one job: (time, running count after the change).
   const std::vector<std::pair<SimTime, int>>& changes(JobId job) const;
@@ -44,6 +47,7 @@ struct JobTaskStats {
   std::uint64_t tasks_started = 0;
   std::uint64_t tasks_finished = 0;  ///< winning attempts only
   std::uint64_t tasks_killed = 0;    ///< losing straggler-race attempts
+  std::uint64_t tasks_failed = 0;    ///< attempts that died with their slot
   std::uint64_t copies_started = 0;  ///< attempts with attempt id >= 1
   std::uint64_t copies_won = 0;      ///< copies that beat their original
   std::uint64_t local_starts = 0;    ///< attempts launched with data locality
@@ -56,6 +60,7 @@ class TaskStatsCollector : public EngineObserver {
   void on_task_started(const Engine&, TaskId, SlotId) override;
   void on_task_finished(const Engine&, TaskId, SlotId) override;
   void on_task_killed(const Engine&, TaskId, SlotId) override;
+  void on_task_failed(const Engine&, TaskId, SlotId) override;
 
   const JobTaskStats& stats(JobId job) const;
   JobTaskStats totals() const;
@@ -77,6 +82,38 @@ struct JobCompletion {
   SimTime submit = 0.0;
   SimTime finish = 0.0;
   SimDuration jct() const { return finish - submit; }
+};
+
+/// Fault-injection and recovery counters (DESIGN.md §9).
+struct RecoveryStats {
+  std::uint64_t slots_failed = 0;      ///< fail transitions applied to slots
+  std::uint64_t slots_recovered = 0;   ///< Dead -> Idle transitions
+  std::uint64_t tasks_failed = 0;      ///< attempts killed by slot death
+  std::uint64_t tasks_requeued = 0;    ///< logical tasks re-queued to re-run
+  std::uint64_t failures_masked = 0;   ///< failed attempts whose twin won
+  std::uint64_t stages_invalidated = 0;  ///< finished stages re-opened
+  std::uint64_t reservations_broken = 0;  ///< reservations ended by slot death
+};
+
+class RecoveryStatsCollector : public EngineObserver {
+ public:
+  void on_task_failed(const Engine&, TaskId, SlotId) override;
+  void on_task_requeued(const Engine&, TaskId) override;
+  void on_task_finished(const Engine&, TaskId, SlotId) override;
+  void on_stage_invalidated(const Engine&, StageId) override;
+  void on_slot_failed(const Engine&, SlotId) override;
+  void on_slot_recovered(const Engine&, SlotId) override;
+  void on_reservation_released(const Engine&, SlotId,
+                               ReservationEndReason) override;
+
+  const RecoveryStats& stats() const { return stats_; }
+
+ private:
+  RecoveryStats stats_;
+  /// Logical tasks ((job, stage, index) via TaskId with attempt erased) with
+  /// a failed attempt whose fate is still open: a requeue counts the failure
+  /// as recovered-by-rerun, a finish counts it as masked by a live twin.
+  std::set<std::tuple<JobId, std::uint32_t, std::uint32_t>> failed_pending_;
 };
 
 class JctCollector : public EngineObserver {

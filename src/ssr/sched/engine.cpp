@@ -165,8 +165,11 @@ void Engine::submit_stage(JobId job, std::uint32_t stage_index) {
   stage.set_preferred_slots(std::move(preferred));
 
   active_stages_.push_back(ActiveStage{&stage, &js});
-  hook_->on_stage_submitted(*this, sid);
+  // Observers before the hook: a hook that reserves here (e.g. a static
+  // carve-out replenishing) can synchronously start this stage's tasks, and
+  // the submission event must precede those starts in the observer stream.
   for (EngineObserver* o : observers_) o->on_stage_submitted(*this, sid);
+  hook_->on_stage_submitted(*this, sid);
 
   place_stage_tasks(stage);
 }
@@ -177,6 +180,12 @@ void Engine::on_stage_complete(StageRuntime& stage) {
   for (EngineObserver* o : observers_) o->on_stage_finished(*this, stage.id());
 
   for (std::uint32_t child : js.graph.children(stage.id().index)) {
+    // A child that already has a runtime was submitted before this
+    // completion — possible only when the stage re-completes after a
+    // failure invalidated it; the child's barrier cleared long ago and must
+    // not be double-counted.  (In failure-free runs every child is
+    // unsubmitted here, so this guard never fires.)
+    if (js.runtimes[child] != nullptr) continue;
     SSR_CHECK(js.unfinished_parents[child] > 0);
     if (--js.unfinished_parents[child] == 0) {
       submit_stage(stage.id().job, child);
@@ -236,7 +245,7 @@ bool Engine::stage_accepts_slot(const StageRuntime& stage, SlotId slot) const {
 
 void Engine::offer_slot(SlotId slot) {
   const SlotState st = cluster_.slot(slot).state();
-  if (st == SlotState::Busy) return;
+  if (st == SlotState::Busy || st == SlotState::Dead) return;
   // Single linear pass: find the policy-first stage that accepts this slot.
   // (Sorting all pending stages per offer would dominate large overloaded
   // simulations; acceptance checks are cheap hash lookups.)
@@ -402,9 +411,9 @@ void Engine::start_attempt(StageRuntime& stage, TaskAttempt& attempt,
   for (EngineObserver* o : observers_) o->on_task_started(*this, attempt.id, slot);
   hook_->on_task_started(*this, attempt.id, slot);
 
-  sim_.schedule_after(runtime, [this, sid = stage.id(), tid = attempt.id] {
-    handle_completion(sid, tid);
-  });
+  sim_.schedule_after(runtime,
+                      [this, sid = stage.id(), tid = attempt.id,
+                       epoch = attempt.epoch] { handle_completion(sid, tid, epoch); });
 
   // Copies never change the pending queue; only the placement of the last
   // original flips the stage to fully-placed.
@@ -427,13 +436,17 @@ TaskFinishInfo Engine::make_finish_info(const StageRuntime& stage,
   return info;
 }
 
-void Engine::handle_completion(StageId stage_id, TaskId task) {
+void Engine::handle_completion(StageId stage_id, TaskId task,
+                               std::uint32_t epoch) {
   StageRuntime* stage = stage_runtime(stage_id);
   SSR_CHECK_MSG(stage != nullptr, "completion for unknown stage");
   TaskAttempt* attempt = stage->find_attempt(task);
   SSR_CHECK_MSG(attempt != nullptr, "completion for unknown attempt");
-  if (attempt->state != AttemptState::Running) {
-    return;  // lost the copy race and was killed; stale event
+  if (attempt->state != AttemptState::Running || attempt->epoch != epoch) {
+    // Stale event: the attempt lost a copy race and was killed, or it died
+    // with its slot and was resurrected (the epoch mismatch keeps an event
+    // from the pre-failure run from completing the re-run).
+    return;
   }
 
   JobState& js = state(stage_id.job);
@@ -533,6 +546,172 @@ bool Engine::launch_copy(StageId stage_id, std::uint32_t task_index,
   TaskAttempt& copy = stage->add_copy(task_index, duration);
   start_attempt(*stage, copy, slot);
   return true;
+}
+
+// --- Failure handling ---------------------------------------------------------
+
+void Engine::fail_node(NodeId node) {
+  // Drain every slot first, place displaced work once at the end: re-placing
+  // after each slot would let a task land on a sibling slot that is about to
+  // die in the same node failure.
+  std::vector<StageRuntime*> to_place;
+  for (SlotId slot : cluster_.slots_of_node(node)) {
+    fail_slot_impl(slot, to_place);
+  }
+  place_after_failure(to_place);
+}
+
+void Engine::recover_node(NodeId node) {
+  for (SlotId slot : cluster_.slots_of_node(node)) {
+    recover_slot_impl(slot);
+  }
+}
+
+void Engine::fail_slot(SlotId slot) {
+  std::vector<StageRuntime*> to_place;
+  fail_slot_impl(slot, to_place);
+  place_after_failure(to_place);
+}
+
+void Engine::recover_slot(SlotId slot) { recover_slot_impl(slot); }
+
+void Engine::fail_slot_impl(SlotId slot, std::vector<StageRuntime*>& to_place) {
+  const Slot& s = cluster_.slot(slot);
+  if (s.state() == SlotState::Dead) return;  // overlapping failure windows
+
+  if (s.state() == SlotState::Busy) {
+    const TaskId tid = *s.running_task();
+    StageRuntime* stage = stage_runtime(tid.stage);
+    SSR_CHECK_MSG(stage != nullptr, "busy slot with unknown stage");
+    TaskAttempt* attempt = stage->find_attempt(tid);
+    SSR_CHECK_MSG(attempt != nullptr && attempt->state == AttemptState::Running,
+                  "busy slot without a running attempt");
+    JobState& js = state(tid.stage.job);
+    cluster_.kill_task(slot, sim_.now());
+    stage->mark_killed(*attempt, sim_.now());
+    --js.running_tasks;
+    for (EngineObserver* o : observers_) o->on_task_failed(*this, tid, slot);
+    // No hook on_task_killed here: that callback exists so policies re-reserve
+    // the warm slot a race loser vacated, and this slot is dying.
+    if (!stage->task_done(tid.index)) {
+      // A live twin elsewhere masks the failure: the surviving attempt keeps
+      // running and will finish the logical task.
+      bool masked = false;
+      bool already_queued = false;
+      if (tid.attempt == 0) {
+        masked = stage->running_copy(tid.index) != nullptr;
+      } else {
+        const AttemptState os = stage->original(tid.index).state;
+        masked = os == AttemptState::Running;
+        // Pending: the original was already resurrected (e.g. it died on a
+        // sibling slot earlier in this same node failure).
+        already_queued = os == AttemptState::Pending;
+      }
+      if (!masked && !already_queued) {
+        stage->resurrect(tid.index);
+        for (EngineObserver* o : observers_) o->on_task_requeued(*this, tid);
+        ensure_active(*stage);
+        to_place.push_back(stage);
+      }
+    }
+  } else if (s.state() == SlotState::ReservedIdle) {
+    cluster_.release_reservation(slot, sim_.now());
+    for (EngineObserver* o : observers_) {
+      o->on_reservation_released(*this, slot, ReservationEndReason::SlotFailed);
+    }
+    // No hook on_slot_idle: that path counts as a reservation expiry and may
+    // re-reserve, and the slot is dying.  The hook reconciles its bookkeeping
+    // in on_slot_failed below instead.
+  }
+
+  cluster_.fail_slot(slot, sim_.now());
+  for (EngineObserver* o : observers_) o->on_slot_failed(*this, slot);
+  // After the transition: the slot is Dead, so a buggy hook that tries to
+  // reserve it fails a cluster state check instead of corrupting the run.
+  hook_->on_slot_failed(*this, slot);
+
+  invalidate_outputs(slot, to_place);
+}
+
+void Engine::invalidate_outputs(SlotId slot,
+                                std::vector<StageRuntime*>& to_place) {
+  for (StageId sid : cluster_.take_resident_outputs(slot)) {
+    JobState& js = state(sid.job);
+    if (js.finish_time >= 0.0) continue;  // job done; nobody reads the data
+    // The locality index forgets the dead slot whether or not a re-run is
+    // needed — child stages must stop preferring it.
+    auto out_it = js.output_slots.find(sid.index);
+    if (out_it != js.output_slots.end()) {
+      std::erase(out_it->second, slot);
+      if (out_it->second.empty()) js.output_slots.erase(out_it);
+    }
+    StageRuntime* stage = js.runtimes[sid.index].get();
+    SSR_CHECK_MSG(stage != nullptr, "resident output of unsubmitted stage");
+    // Re-run lost producers only while some dependent stage still needs the
+    // data: a child not yet submitted, or submitted but not complete.
+    bool needed = false;
+    for (std::uint32_t child : js.graph.children(sid.index)) {
+      const StageRuntime* c = js.runtimes[child].get();
+      if (c == nullptr || !c->complete()) {
+        needed = true;
+        break;
+      }
+    }
+    if (!needed) continue;
+
+    std::vector<std::uint32_t> lost;
+    for (std::uint32_t i = 0; i < stage->parallelism(); ++i) {
+      const TaskAttempt* fin = stage->finished_attempt(i);
+      if (fin != nullptr && fin->slot == slot) lost.push_back(i);
+    }
+    if (lost.empty()) continue;
+
+    const bool was_complete = stage->complete();
+    for (std::uint32_t i : lost) {
+      const TaskId winner = stage->finished_attempt(i)->id;
+      stage->resurrect(i);
+      for (EngineObserver* o : observers_) o->on_task_requeued(*this, winner);
+    }
+    if (was_complete) {
+      // Roll back the stage's barrier contribution; on_stage_complete will
+      // fire again when the re-runs finish.  Children already submitted keep
+      // their cleared barrier (they re-read the re-produced outputs for
+      // free in this model) — only unsubmitted ones wait again.
+      --js.finished_stages;
+      for (std::uint32_t child : js.graph.children(sid.index)) {
+        if (js.runtimes[child] == nullptr) ++js.unfinished_parents[child];
+      }
+      for (EngineObserver* o : observers_) o->on_stage_invalidated(*this, sid);
+    }
+    ensure_active(*stage);
+    to_place.push_back(stage);
+  }
+}
+
+void Engine::ensure_active(StageRuntime& stage) {
+  for (const ActiveStage& active : active_stages_) {
+    if (active.runtime == &stage) return;
+  }
+  active_stages_.push_back(ActiveStage{&stage, &state(stage.id().job)});
+}
+
+void Engine::place_after_failure(const std::vector<StageRuntime*>& to_place) {
+  std::vector<StageRuntime*> seen;
+  for (StageRuntime* stage : to_place) {
+    if (std::find(seen.begin(), seen.end(), stage) != seen.end()) continue;
+    seen.push_back(stage);
+    if (!stage->all_placed()) place_stage_tasks(*stage);
+  }
+}
+
+void Engine::recover_slot_impl(SlotId slot) {
+  if (cluster_.slot(slot).state() != SlotState::Dead) return;  // idempotent
+  cluster_.recover_slot(slot, sim_.now());
+  for (EngineObserver* o : observers_) o->on_slot_recovered(*this, slot);
+  // A recovered slot is an ordinary fresh idle slot: give pre-reservation its
+  // usual chance, then offer it to pending task sets.
+  hook_->on_slot_idle(*this, slot);
+  if (cluster_.slot(slot).state() == SlotState::Idle) offer_slot(slot);
 }
 
 }  // namespace ssr

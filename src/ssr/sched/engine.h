@@ -29,6 +29,7 @@
 #include "ssr/sched/stage_runtime.h"
 #include "ssr/sched/types.h"
 #include "ssr/sim/cluster.h"
+#include "ssr/sim/failure_injector.h"
 #include "ssr/sim/simulator.h"
 
 namespace ssr {
@@ -51,7 +52,11 @@ class NullReservationHook : public ReservationHook {
   void on_job_finished(Engine&, JobId) override {}
 };
 
-class Engine {
+/// The engine doubles as the FailureSink a FailureInjector drives: failure
+/// events arrive through the ordinary event queue and are handled inline
+/// (kill + re-queue running tasks, break reservations, invalidate resident
+/// outputs) so a failure run stays deterministic.
+class Engine : public FailureSink {
  public:
   Engine(SchedConfig config, std::uint32_t num_nodes,
          std::uint32_t slots_per_node, std::uint64_t seed);
@@ -60,7 +65,7 @@ class Engine {
   Engine(SchedConfig config,
          const std::vector<std::vector<Resources>>& node_slots,
          std::uint64_t seed);
-  ~Engine();
+  ~Engine() override;
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -125,6 +130,22 @@ class Engine {
   /// copy already live, slot not reserved for this job).
   bool launch_copy(StageId stage, std::uint32_t task_index, SlotId slot);
 
+  // --- FailureSink (fault injection) ---------------------------------------
+  //
+  // Per failed slot, in order: a running attempt is killed (and its logical
+  // task re-queued unless a live twin elsewhere masks the failure), a held
+  // reservation is broken (ReservationEndReason::SlotFailed, then the hook's
+  // on_slot_failed), the slot goes Dead, and every stage output resident on
+  // it is invalidated — finished producer tasks whose data lived there are
+  // resurrected, re-opening their stage's barrier if it had completed.
+  // Recovery returns the slot Idle, cold and empty, through the normal
+  // on_slot_idle/offer path.  All four calls are idempotent.
+
+  void fail_node(NodeId node) override;
+  void recover_node(NodeId node) override;
+  void fail_slot(SlotId slot) override;
+  void recover_slot(SlotId slot) override;
+
  private:
   struct JobState {
     explicit JobState(JobGraph g) : graph(std::move(g)) {}
@@ -174,10 +195,26 @@ class Engine {
   bool stage_accepts_slot(const StageRuntime& stage, SlotId slot) const;
 
   void start_attempt(StageRuntime& stage, TaskAttempt& attempt, SlotId slot);
-  void handle_completion(StageId stage_id, TaskId task);
+  /// `epoch` is the attempt's epoch at scheduling time; a mismatch marks the
+  /// event as stale (the attempt was failure-resurrected in between).
+  void handle_completion(StageId stage_id, TaskId task, std::uint32_t epoch);
   void kill_attempt(StageRuntime& stage, TaskAttempt& attempt);
   void on_stage_complete(StageRuntime& stage);
   void finish_job(JobId job);
+
+  // --- Failure handling helpers --------------------------------------------
+
+  /// Drain and kill one slot; stages that gained pending tasks are appended
+  /// to `to_place` (placement is deferred so a node failure drains every
+  /// slot before any re-placement).
+  void fail_slot_impl(SlotId slot, std::vector<StageRuntime*>& to_place);
+  void recover_slot_impl(SlotId slot);
+  /// Resurrect finished tasks whose outputs were resident on `slot`.
+  void invalidate_outputs(SlotId slot, std::vector<StageRuntime*>& to_place);
+  /// Re-insert a stage into active_stages_ if it is not there already.
+  void ensure_active(StageRuntime& stage);
+  /// Offer pending work to the cluster for each distinct stage, in order.
+  void place_after_failure(const std::vector<StageRuntime*>& to_place);
 
   void arm_locality_retry(StageRuntime& stage);
 

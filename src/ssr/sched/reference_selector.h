@@ -33,6 +33,9 @@ class ReferenceSelector : public ReservationHook {
   void on_slot_idle(Engine& engine, SlotId slot) override {
     inner_->on_slot_idle(engine, slot);
   }
+  void on_slot_failed(Engine& engine, SlotId slot) override {
+    inner_->on_slot_failed(engine, slot);
+  }
   bool approve(const Engine& engine, SlotId slot, JobId job,
                int priority) const override {
     return inner_->approve(engine, slot, job, priority);

@@ -91,6 +91,37 @@ TaskAttempt* StageRuntime::find_attempt(TaskId id) {
   return nullptr;
 }
 
+const TaskAttempt* StageRuntime::finished_attempt(
+    std::uint32_t task_index) const {
+  if (!task_done(task_index)) return nullptr;
+  const TaskAttempt& original = originals_.at(task_index);
+  if (original.state == AttemptState::Finished) return &original;
+  for (const TaskAttempt& c : copies_) {
+    if (c.id.index == task_index && c.state == AttemptState::Finished) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+void StageRuntime::resurrect(std::uint32_t task_index) {
+  TaskAttempt& original = originals_.at(task_index);
+  SSR_CHECK_MSG(original.state == AttemptState::Finished ||
+                    original.state == AttemptState::Killed,
+                "resurrect needs a settled original attempt");
+  original.state = AttemptState::Pending;
+  original.start_time = -1.0;
+  original.finish_time = -1.0;
+  original.slot = SlotId{};
+  original.local = false;
+  ++original.epoch;
+  if (done_.erase(task_index) > 0) {
+    SSR_CHECK(finished_ > 0);
+    --finished_;
+  }
+  pending_.push_back(task_index);
+}
+
 void StageRuntime::mark_running(TaskAttempt& attempt, SlotId slot, SimTime now,
                                 bool local) {
   SSR_CHECK_MSG(attempt.state == AttemptState::Pending,

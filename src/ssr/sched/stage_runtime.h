@@ -30,6 +30,10 @@ struct TaskAttempt {
   SimTime finish_time = -1.0;
   SlotId slot{};       ///< Valid while Running / after Finished.
   bool local = false;  ///< Whether the attempt ran with data locality.
+  /// Bumped each time the attempt is resurrected after a failure; completion
+  /// events carry the epoch they were scheduled under, so an event from a
+  /// pre-failure run of the attempt cannot complete its re-run.
+  std::uint32_t epoch = 0;
 };
 
 /// Runtime state of one submitted stage.
@@ -95,6 +99,11 @@ class StageRuntime {
   /// Locate any attempt (original or copy) by id; nullptr if unknown.
   TaskAttempt* find_attempt(TaskId id);
 
+  /// The attempt whose completion finished `task_index` (original first,
+  /// then copies); nullptr while the task is not done.  Failure handling
+  /// asks this to learn which slot holds the task's output.
+  const TaskAttempt* finished_attempt(std::uint32_t task_index) const;
+
   // --- Attempt state transitions (engine-driven) ---------------------------
 
   void mark_running(TaskAttempt& attempt, SlotId slot, SimTime now,
@@ -103,6 +112,14 @@ class StageRuntime {
   /// the attempt is the first completion of its task index.
   void mark_finished(TaskAttempt& attempt, SimTime now);
   void mark_killed(TaskAttempt& attempt, SimTime now);
+
+  /// Failure recovery: put the logical task back in the pending queue by
+  /// resetting its original attempt (which must be Finished or Killed) to a
+  /// fresh Pending with a bumped epoch.  If the task was done, it no longer
+  /// is; the stage re-opens accordingly.  The base duration is kept, so the
+  /// re-run consumes no randomness and a failure cannot perturb the RNG
+  /// stream of unrelated draws.
+  void resurrect(std::uint32_t task_index);
 
   /// True if the logical task (any attempt) has already finished.
   bool task_done(std::uint32_t task_index) const {

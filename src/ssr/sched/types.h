@@ -23,8 +23,10 @@ struct Reservation;
 /// on_task_started callback that fires for the claiming attempt is the
 /// release notification in that case.
 enum class ReservationEndReason {
-  Expired,   ///< Deadline event fired with the reservation still current.
-  Released,  ///< Policy released it (fully placed, job finished, override).
+  Expired,     ///< Deadline event fired with the reservation still current.
+  Released,    ///< Policy released it (fully placed, job finished, override).
+  SlotFailed,  ///< The reserved slot died (fault injection); the reservation
+               ///< was broken, not consumed.
 };
 
 /// How the scheduler orders task sets when offering slots.
@@ -108,9 +110,18 @@ class ReservationHook {
   virtual void on_task_killed(Engine& engine, const TaskFinishInfo& info) = 0;
 
   /// A slot became idle for a reason other than task completion (reservation
-  /// expiry/override, job teardown).  Gives pre-reservation (Case-2.3) a
-  /// chance to grab it.
+  /// expiry/override, job teardown, failure recovery).  Gives
+  /// pre-reservation (Case-2.3) a chance to grab it.
   virtual void on_slot_idle(Engine& engine, SlotId slot) = 0;
+
+  /// `slot` is transitioning to Dead (fault injection).  Any reservation it
+  /// held has already been released by the engine; implementations must drop
+  /// their own bookkeeping for the slot and must NOT reserve it (it is
+  /// already Dead at call time).  Default: nothing to reconcile.
+  virtual void on_slot_failed(Engine& engine, SlotId slot) {
+    (void)engine;
+    (void)slot;
+  }
 
   /// ApprovalLogic (Algorithm 1, TryAllocateTask): may `job` with `priority`
   /// start a task on `slot`?  Must return true for unreserved idle slots.
@@ -154,6 +165,25 @@ class EngineObserver {
   virtual void on_task_started(const Engine&, TaskId, SlotId) {}
   virtual void on_task_finished(const Engine&, TaskId, SlotId) {}
   virtual void on_task_killed(const Engine&, TaskId, SlotId) {}
+
+  // --- Failure / recovery (fault injection) ---------------------------------
+
+  /// A running attempt died with its slot.  Distinct from on_task_killed
+  /// (losing a straggler race): the slot is about to go Dead, and the
+  /// logical task may not be done.
+  virtual void on_task_failed(const Engine&, TaskId, SlotId) {}
+  /// A logical task went back to the pending queue: its failed attempt had
+  /// no live twin, or its finished output was lost with a slot.  The TaskId
+  /// is the attempt whose work was lost; the re-run is a fresh start of the
+  /// original attempt.
+  virtual void on_task_requeued(const Engine&, TaskId) {}
+  /// A previously-finished stage lost outputs and re-opened; its barrier
+  /// contribution was rolled back and on_stage_finished will fire again.
+  virtual void on_stage_invalidated(const Engine&, StageId) {}
+  /// A slot moved to Dead (already drained: no task, no reservation).
+  virtual void on_slot_failed(const Engine&, SlotId) {}
+  /// A slot moved Dead -> Idle.
+  virtual void on_slot_recovered(const Engine&, SlotId) {}
 
   /// A slot moved Idle -> ReservedIdle.  `reservation.token` is already the
   /// cluster-assigned generation token.

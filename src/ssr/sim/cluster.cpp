@@ -10,12 +10,14 @@ Cluster::Cluster(std::uint32_t num_nodes, std::uint32_t slots_per_node)
   SSR_CHECK_MSG(num_nodes > 0 && slots_per_node > 0,
                 "cluster must have at least one slot");
   slots_.reserve(static_cast<std::size_t>(num_nodes) * slots_per_node);
+  slots_of_node_.resize(num_nodes);
   std::uint32_t next_slot = 0;
   for (std::uint32_t n = 0; n < num_nodes; ++n) {
     for (std::uint32_t s = 0; s < slots_per_node; ++s) {
       slots_.emplace_back(SlotId{next_slot}, NodeId{n});
       record_capacity(slots_.back().capacity());
       idle_.insert(SlotId{next_slot});
+      slots_of_node_[n].push_back(SlotId{next_slot});
       ++next_slot;
     }
   }
@@ -24,6 +26,7 @@ Cluster::Cluster(std::uint32_t num_nodes, std::uint32_t slots_per_node)
 Cluster::Cluster(const std::vector<std::vector<Resources>>& node_slots)
     : num_nodes_(static_cast<std::uint32_t>(node_slots.size())) {
   SSR_CHECK_MSG(!node_slots.empty(), "cluster must have at least one node");
+  slots_of_node_.resize(node_slots.size());
   std::uint32_t next_slot = 0;
   for (std::uint32_t n = 0; n < node_slots.size(); ++n) {
     SSR_CHECK_MSG(!node_slots[n].empty(), "node must have at least one slot");
@@ -33,6 +36,7 @@ Cluster::Cluster(const std::vector<std::vector<Resources>>& node_slots)
       slots_.emplace_back(SlotId{next_slot}, NodeId{n}, cap);
       record_capacity(cap);
       idle_.insert(SlotId{next_slot});
+      slots_of_node_[n].push_back(SlotId{next_slot});
       ++next_slot;
     }
   }
@@ -88,6 +92,9 @@ void Cluster::accrue(Slot& s, SimTime now) {
     case SlotState::ReservedIdle:
       s.reserved_idle_time_ += elapsed;
       reserved_idle_by_job_[s.reservation_->job] += elapsed;
+      break;
+    case SlotState::Dead:
+      s.dead_time_ += elapsed;
       break;
     case SlotState::Idle:
       break;
@@ -163,6 +170,23 @@ bool Cluster::release_if_current(SlotId id, std::uint64_t token, SimTime now) {
   return true;
 }
 
+void Cluster::fail_slot(SlotId id, SimTime now) {
+  Slot& s = mutable_slot(id);
+  SSR_CHECK_MSG(s.state_ == SlotState::Idle,
+                "only drained (idle) slots can fail; kill/release first");
+  accrue(s, now);
+  idle_.erase(id);
+  s.state_ = SlotState::Dead;
+}
+
+void Cluster::recover_slot(SlotId id, SimTime now) {
+  Slot& s = mutable_slot(id);
+  SSR_CHECK_MSG(s.state_ == SlotState::Dead, "only dead slots can recover");
+  accrue(s, now);
+  s.state_ = SlotState::Idle;
+  idle_.insert(id);
+}
+
 void Cluster::forget_job_outputs(JobId job) {
   auto it = output_slots_of_job_.find(job);
   if (it == output_slots_of_job_.end()) return;
@@ -170,6 +194,26 @@ void Cluster::forget_job_outputs(JobId job) {
     mutable_slot(id).resident_outputs_.erase(job);
   }
   output_slots_of_job_.erase(it);
+}
+
+std::vector<StageId> Cluster::take_resident_outputs(SlotId id) {
+  Slot& s = mutable_slot(id);
+  std::vector<StageId> lost;
+  for (const auto& [job, indices] : s.resident_outputs_) {
+    for (std::uint32_t index : indices) {
+      lost.push_back(StageId{job, index});
+    }
+    auto it = output_slots_of_job_.find(job);
+    if (it != output_slots_of_job_.end()) {
+      it->second.erase(id);
+      if (it->second.empty()) output_slots_of_job_.erase(it);
+    }
+  }
+  s.resident_outputs_.clear();
+  // The per-slot map is unordered; sort so failure handling visits producer
+  // stages in a deterministic (job, index) order.
+  std::sort(lost.begin(), lost.end());
+  return lost;
 }
 
 void Cluster::settle(SimTime now) {
@@ -185,6 +229,12 @@ double Cluster::total_busy_time() const {
 double Cluster::total_reserved_idle_time() const {
   double total = 0.0;
   for (const Slot& s : slots_) total += s.reserved_idle_time_;
+  return total;
+}
+
+double Cluster::total_dead_time() const {
+  double total = 0.0;
+  for (const Slot& s : slots_) total += s.dead_time_;
   return total;
 }
 

@@ -5,9 +5,12 @@
 //
 // The model corresponds to the paper's Spark deployment: each node hosts a
 // fixed number of executors ("slots"); one slot runs one task at a time.  A
-// slot is Idle, Busy, or ReservedIdle.  ReservedIdle is the state introduced
-// by speculative slot reservation: the slot is empty but withheld from jobs
-// whose priority does not exceed the reservation's.
+// slot is Idle, Busy, ReservedIdle, or Dead.  ReservedIdle is the state
+// introduced by speculative slot reservation: the slot is empty but withheld
+// from jobs whose priority does not exceed the reservation's.  Dead models a
+// failed executor/machine (the fault-injection layer): the slot holds no
+// task, no reservation, and no resident outputs, and is absent from every
+// free-slot index until it recovers.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +28,7 @@
 
 namespace ssr {
 
-enum class SlotState { Idle, Busy, ReservedIdle };
+enum class SlotState { Idle, Busy, ReservedIdle, Dead };
 
 /// A reservation held on a ReservedIdle slot (Algorithm 1 of the paper).
 struct Reservation {
@@ -65,6 +68,7 @@ class Slot {
 
   double busy_time() const { return busy_time_; }
   double reserved_idle_time() const { return reserved_idle_time_; }
+  double dead_time() const { return dead_time_; }
 
  private:
   friend class Cluster;
@@ -84,6 +88,7 @@ class Slot {
   SimTime state_since_ = kTimeZero;
   double busy_time_ = 0.0;
   double reserved_idle_time_ = 0.0;
+  double dead_time_ = 0.0;
 };
 
 /// The whole cluster.  Owns all slots, performs state transitions, maintains
@@ -104,6 +109,12 @@ class Cluster {
   }
 
   const Slot& slot(SlotId id) const { return slots_.at(id.v); }
+
+  /// The slots hosted on `node`, in ascending id order (fixed at
+  /// construction); node-level failure iterates this.
+  const std::vector<SlotId>& slots_of_node(NodeId node) const {
+    return slots_of_node_.at(node.v);
+  }
 
   /// Slots currently Idle (unreserved), ordered by id for determinism.
   const std::set<SlotId>& idle_slots() const { return idle_; }
@@ -158,9 +169,22 @@ class Cluster {
   /// Safe to call from a stale deadline event; returns true if released.
   bool release_if_current(SlotId id, std::uint64_t token, SimTime now);
 
+  /// Idle -> Dead (failure injection).  The caller must have drained the
+  /// slot first: running tasks killed, reservations released.
+  void fail_slot(SlotId id, SimTime now);
+
+  /// Dead -> Idle.  The slot returns empty and cold (its resident outputs
+  /// were taken at failure time).
+  void recover_slot(SlotId id, SimTime now);
+
   /// Drop all resident outputs belonging to `job` (job finished; its data is
   /// no longer useful and the sets would otherwise grow without bound).
   void forget_job_outputs(JobId job);
+
+  /// Remove and return every stage whose output was resident on `id`, in
+  /// ascending (job, index) order.  Failure handling uses the result to
+  /// decide which producer stages must re-run.
+  std::vector<StageId> take_resident_outputs(SlotId id);
 
   // --- Accounting ---------------------------------------------------------
 
@@ -169,6 +193,9 @@ class Cluster {
 
   double total_busy_time() const;
   double total_reserved_idle_time() const;
+  /// Slot-seconds spent Dead (excluded from utilization denominators by
+  /// callers that account for failures).
+  double total_dead_time() const;
 
   /// Reserved-idle seconds attributable to reservations held by `job`.
   double reserved_idle_time_of(JobId job) const;
@@ -185,6 +212,8 @@ class Cluster {
 
   std::uint32_t num_nodes_;
   std::vector<Slot> slots_;
+  /// Per-node slot lists (ascending id), fixed at construction.
+  std::vector<std::vector<SlotId>> slots_of_node_;
   std::set<SlotId> idle_;
   std::set<SlotId> reserved_idle_;
   /// Secondary views of reserved_idle_, keyed by reserving job / priority.

@@ -1,0 +1,69 @@
+#include "ssr/sim/failure_injector.h"
+
+#include <utility>
+
+#include "ssr/common/check.h"
+#include "ssr/common/rng.h"
+#include "ssr/sim/simulator.h"
+
+namespace ssr {
+
+FailureInjector::FailureInjector(FailureSchedule schedule)
+    : schedule_(std::move(schedule)) {}
+
+void FailureInjector::attach(Simulator& sim, FailureSink& sink) {
+  SSR_CHECK_MSG(!attached_, "attach() may be called only once");
+  attached_ = true;
+  for (const FailureEvent& e : schedule_.events) {
+    SSR_CHECK_MSG(e.fail_at >= 0.0, "failure time must be >= 0");
+    SSR_CHECK_MSG(e.recover_at > e.fail_at,
+                  "recovery must come strictly after the failure");
+    // Capture by value: the schedule may be copied or destroyed after
+    // attach(); only the sink reference must stay alive.
+    FailureSink* s = &sink;
+    if (e.scope == FailureEvent::Scope::Node) {
+      const NodeId node{e.id};
+      sim.schedule_at(e.fail_at, [s, node] { s->fail_node(node); });
+      if (e.recover_at < kTimeInfinity) {
+        sim.schedule_at(e.recover_at, [s, node] { s->recover_node(node); });
+      }
+    } else {
+      const SlotId slot{e.id};
+      sim.schedule_at(e.fail_at, [s, slot] { s->fail_slot(slot); });
+      if (e.recover_at < kTimeInfinity) {
+        sim.schedule_at(e.recover_at, [s, slot] { s->recover_slot(slot); });
+      }
+    }
+  }
+}
+
+FailureSchedule make_random_node_failures(const RandomFailureConfig& config) {
+  SSR_CHECK_MSG(config.num_nodes >= 1, "need at least one node");
+  SSR_CHECK_MSG(config.horizon > 0.0, "horizon must be positive");
+  SSR_CHECK_MSG(config.min_downtime > 0.0 &&
+                    config.max_downtime >= config.min_downtime,
+                "downtime range must be positive and ordered");
+  SSR_CHECK_MSG(
+      config.permanent_fraction >= 0.0 && config.permanent_fraction <= 1.0,
+      "permanent fraction must lie in [0, 1]");
+  Rng rng(config.seed);
+  FailureSchedule schedule;
+  schedule.events.reserve(config.failures);
+  for (std::uint32_t i = 0; i < config.failures; ++i) {
+    FailureEvent e;
+    e.scope = FailureEvent::Scope::Node;
+    e.id = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(config.num_nodes) - 1));
+    e.fail_at = rng.uniform(0.0, config.horizon);
+    const SimDuration downtime =
+        rng.uniform(config.min_downtime, config.max_downtime);
+    const bool permanent = rng.bernoulli(config.permanent_fraction);
+    // Node 0 always recovers: the surviving kernel that guarantees progress.
+    e.recover_at =
+        (permanent && e.id != 0) ? kTimeInfinity : e.fail_at + downtime;
+    schedule.events.push_back(e);
+  }
+  return schedule;
+}
+
+}  // namespace ssr

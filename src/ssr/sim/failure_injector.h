@@ -1,0 +1,99 @@
+// Deterministic fault injection for the discrete-event cluster.
+//
+// A FailureSchedule is a plain list of (target, fail_at, recover_at) records;
+// FailureInjector turns it into simulator events that call back into a
+// FailureSink (the scheduling engine).  Because the schedule is data and the
+// events ride the ordinary EventQueue, failure runs are exactly as
+// reproducible as failure-free ones: the same schedule and seed give a
+// bit-identical event stream, which is what the chaos and golden-replay
+// suites pin.
+//
+// Semantics: failing an already-dead target and recovering an alive one are
+// idempotent no-ops, so overlapping windows compose deterministically (the
+// earliest recovery wins).  A recover_at of kTimeInfinity means the target
+// never comes back.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ssr/common/ids.h"
+#include "ssr/common/time.h"
+
+namespace ssr {
+
+class Simulator;
+
+/// Receiver of failure/recovery commands — implemented by the scheduling
+/// engine.  Lives here (not in sched/) so the sim layer stays free of
+/// scheduler headers while the injector can still drive an Engine.
+class FailureSink {
+ public:
+  virtual ~FailureSink() = default;
+
+  /// Every slot of the node dies: running tasks are lost, reservations are
+  /// broken, resident outputs become unreachable.  Idempotent.
+  virtual void fail_node(NodeId node) = 0;
+  /// Every dead slot of the node comes back empty and cold.  Idempotent.
+  virtual void recover_node(NodeId node) = 0;
+
+  /// Single-slot variants (an executor crash rather than a machine loss).
+  virtual void fail_slot(SlotId slot) = 0;
+  virtual void recover_slot(SlotId slot) = 0;
+};
+
+/// One failure window on a node or a single slot.
+struct FailureEvent {
+  enum class Scope { Node, Slot };
+  Scope scope = Scope::Node;
+  std::uint32_t id = 0;  ///< NodeId::v or SlotId::v, per scope
+  SimTime fail_at = 0.0;
+  /// Absolute recovery time; kTimeInfinity = permanent failure.
+  SimTime recover_at = kTimeInfinity;
+};
+
+/// An ordered list of failure windows.  Part of a scenario's inputs: two
+/// runs with equal schedules (and equal everything else) are bit-identical.
+struct FailureSchedule {
+  std::vector<FailureEvent> events;
+
+  bool empty() const { return events.empty(); }
+};
+
+/// Schedules every FailureEvent of a schedule onto a Simulator, directed at
+/// a FailureSink.  The injector holds no state the engine depends on; it
+/// only needs to outlive attach() (the callbacks capture the sink, not the
+/// injector).
+class FailureInjector {
+ public:
+  explicit FailureInjector(FailureSchedule schedule);
+
+  /// Validate the schedule and enqueue its events.  Call once, before the
+  /// simulation starts; `sink` must outlive the simulation.
+  void attach(Simulator& sim, FailureSink& sink);
+
+  const FailureSchedule& schedule() const { return schedule_; }
+
+ private:
+  FailureSchedule schedule_;
+  bool attached_ = false;
+};
+
+/// Seeded random node-failure schedule for chaos testing: `failures` windows
+/// with fail times uniform over [0, horizon) and downtimes uniform over
+/// [min_downtime, max_downtime).  A `permanent_fraction` of the windows (by
+/// Bernoulli draw) never recover; those are never placed on node 0, so a
+/// kernel of capacity always survives and every job can still finish.
+struct RandomFailureConfig {
+  std::uint32_t num_nodes = 1;
+  SimTime horizon = 100.0;
+  std::uint32_t failures = 1;
+  SimDuration min_downtime = 1.0;
+  SimDuration max_downtime = 10.0;
+  double permanent_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+FailureSchedule make_random_node_failures(const RandomFailureConfig& config);
+
+}  // namespace ssr

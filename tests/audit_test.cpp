@@ -15,6 +15,7 @@
 #include "ssr/core/reservation_manager.h"
 #include "ssr/exp/scenario.h"
 #include "ssr/sched/engine.h"
+#include "ssr/sim/failure_injector.h"
 #include "ssr/workload/mlbench.h"
 #include "ssr/workload/sqlbench.h"
 #include "ssr/workload/tracegen.h"
@@ -214,6 +215,67 @@ TEST(SlotLedgerSeededBug, CleanLifecycleHasNoViolations) {
   EXPECT_TRUE(ledger.clean()) << audit::format_report(ledger.violations());
 }
 
+// --- Seeded bugs, failure lifecycle ------------------------------------------
+
+TEST(SlotLedgerSeededBug, FailureOfUndrainedBusySlotIsFlagged) {
+  // The engine must kill the running attempt before marking a slot Dead; a
+  // failure event arriving while the mirror still shows Busy means a task
+  // silently vanished with its slot.
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageA0, {}, 0.0);
+  ledger.on_start(kSlot0, task_of(kStageA0, 0), 1.0);
+  ledger.on_fail(kSlot0, 2.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kDeadSlotUse});
+}
+
+TEST(SlotLedgerSeededBug, ReserveOnDeadSlotIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_fail(kSlot0, 1.0);
+  ledger.on_reserve(kSlot0, kJobA, 10, kTimeInfinity, 2.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kDeadSlotUse});
+}
+
+TEST(SlotLedgerSeededBug, StartOnDeadSlotIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageA0, {}, 0.0);
+  ledger.on_fail(kSlot0, 1.0);
+  ledger.on_start(kSlot0, task_of(kStageA0, 0), 2.0);
+  ASSERT_TRUE(has_id(ledger.violations(), audit::kDeadSlotUse))
+      << audit::format_report(ledger.violations());
+}
+
+TEST(SlotLedgerSeededBug, RecoveryOfLiveSlotIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_recover(kSlot0, 1.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kDeadSlotUse});
+}
+
+TEST(SlotLedgerSeededBug, InvalidationOfUnfinishedStageIsFlagged) {
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageA0, {}, 0.0);
+  ledger.on_stage_invalidated(kStageA0, 1.0);
+  ASSERT_EQ(ids_of(ledger.violations()),
+            std::vector<std::string>{audit::kBarrierOrdering});
+}
+
+TEST(SlotLedgerSeededBug, CleanFailureLifecycleHasNoViolations) {
+  // kill -> fail -> recover -> restart -> finish: the legal sequence the
+  // engine emits for a transient slot failure with a re-run.
+  SlotLedger ledger(2);
+  ledger.on_stage_submitted(kStageA0, {}, 0.0);
+  ledger.on_start(kSlot0, task_of(kStageA0, 0), 0.0);
+  ledger.on_kill(kSlot0, task_of(kStageA0, 0), 3.0);
+  ledger.on_fail(kSlot0, 3.0);
+  ledger.on_recover(kSlot0, 8.0);
+  ledger.on_start(kSlot0, task_of(kStageA0, 0), 8.0);
+  ledger.on_finish(kSlot0, task_of(kStageA0, 0), 12.0);
+  ledger.on_stage_finished(kStageA0, 12.0);
+  EXPECT_TRUE(ledger.clean()) << audit::format_report(ledger.violations());
+}
+
 // --- Seeded bugs, end-to-end through the engine -----------------------------
 
 /// A buggy reservation policy: reserves every freed slot for the finishing
@@ -316,6 +378,31 @@ TEST(InvariantAuditorSeededBug, AccountingDivergenceIsCaught) {
   Engine engine_b(SchedConfig{}, 1, 2, 1);
   auditor.on_run_complete(engine_b);
   ASSERT_TRUE(has_id(auditor.violations(), audit::kSlotAccounting))
+      << auditor.report();
+}
+
+TEST(InvariantAuditorSeededBug, TaskLostToPermanentFailureIsCaught) {
+  // A 1-slot cluster whose only node dies for good mid-task: the attempt is
+  // killed and re-queued, but no capacity ever comes back, so the stage can
+  // never complete.  Engine::run()'s own wedge CHECK would throw before the
+  // auditor's end-of-run pass, so drive the raw event loop and invoke the
+  // completion audit by hand.
+  Engine engine(SchedConfig{}, /*num_nodes=*/1, /*slots_per_node=*/1,
+                /*seed=*/1);
+  InvariantAuditor auditor(collect_options());
+  auditor.attach(engine);
+  engine.submit(one_stage_job("fg", /*priority=*/10, 1, 5.0));
+  FailureSchedule schedule;
+  schedule.events.push_back(
+      FailureEvent{FailureEvent::Scope::Node, 0, 1.0, kTimeInfinity});
+  FailureInjector injector(schedule);
+  injector.attach(engine.sim(), engine);
+
+  engine.sim().run();
+  engine.cluster().settle(engine.sim().now());
+  auditor.on_run_complete(engine);
+
+  ASSERT_TRUE(has_id(auditor.violations(), audit::kTaskLost))
       << auditor.report();
 }
 

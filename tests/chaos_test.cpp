@@ -1,0 +1,209 @@
+// Chaos property suite for the fault-injection and recovery layer.
+//
+// Each trial derives a random cluster, background trace mix, reservation
+// policy, and a seeded random node-failure schedule, then runs the scenario
+// under a throw-on-violation InvariantAuditor.  The properties pinned here
+// are the failure-model contract of DESIGN.md §9:
+//
+//  * liveness — every job completes despite killed attempts, broken
+//    reservations, and invalidated resident outputs (Engine::run() itself
+//    throws if the simulation wedges with unfinished jobs);
+//  * no event lost — every submitted stage is complete at end of run (the
+//    auditor's task-lost invariant) and the running-task / slot state
+//    machines stay legal through every failure transition;
+//  * accounting — busy, reserved-idle, and dead slot-seconds implied by the
+//    observer stream match the cluster's own accounting.
+//
+// The schedules mix transient and permanent node failures; the generator
+// never makes node 0 permanent, so a kernel of capacity always survives and
+// liveness is well-defined.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ssr/audit/invariant_auditor.h"
+#include "ssr/core/naive_policies.h"
+#include "ssr/core/reservation_manager.h"
+#include "ssr/metrics/collectors.h"
+#include "ssr/sched/engine.h"
+#include "ssr/sim/failure_injector.h"
+#include "ssr/workload/mlbench.h"
+#include "ssr/workload/tracegen.h"
+
+namespace ssr {
+namespace {
+
+// Deterministic per-trial parameter derivation (lint forbids unseeded RNG;
+// splitmix64 gives well-mixed streams from the trial index alone).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+enum class HookKind : std::uint64_t {
+  kNone = 0,       // NullReservationHook
+  kSsrStrict,      // ReservationManager, P = 1
+  kSsrDeadline,    // ReservationManager, P < 1 (expiry machinery live)
+  kSsrMitigation,  // ReservationManager with straggler copies (races x faults)
+  kStatic,         // static carve-out
+  kTimeout,        // timeout holds
+  kCount
+};
+
+struct ChaosParams {
+  std::uint32_t nodes;
+  std::uint32_t slots_per_node;
+  TraceGenConfig bg;
+  std::uint32_t fg_parallelism;
+  SimTime fg_submit;
+  SimDuration locality_wait;
+  HookKind hook;
+  RandomFailureConfig failures;
+  std::uint64_t engine_seed;
+};
+
+ChaosParams derive_params(std::uint64_t trial) {
+  std::uint64_t s = 0x5eedc4a05f00dull ^ (trial * 0x9d7ull);
+  ChaosParams p;
+  p.nodes = 2 + static_cast<std::uint32_t>(splitmix64(s) % 7);
+  p.slots_per_node = 1 + static_cast<std::uint32_t>(splitmix64(s) % 2);
+  p.bg.num_jobs = 3 + static_cast<std::uint32_t>(splitmix64(s) % 6);
+  p.bg.window = 60.0 + static_cast<double>(splitmix64(s) % 4) * 30.0;
+  p.bg.large_job_max_tasks = 20;  // bound per-trial work
+  p.bg.seed = 11 + trial * 131;
+  p.fg_parallelism = 4 + static_cast<std::uint32_t>(splitmix64(s) % 6);
+  p.fg_submit = p.bg.window * 0.25;
+  const double waits[] = {0.0, 1.0, 3.0};
+  p.locality_wait = waits[splitmix64(s) % 3];
+  p.hook = static_cast<HookKind>(splitmix64(s) %
+                                 static_cast<std::uint64_t>(HookKind::kCount));
+  p.failures.num_nodes = p.nodes;
+  // Failures land throughout the busy part of the run, including after the
+  // nominal submission window (recovery re-runs push work past it).
+  p.failures.horizon = p.bg.window * 1.5;
+  p.failures.failures = 1 + static_cast<std::uint32_t>(splitmix64(s) % 4);
+  p.failures.min_downtime = 2.0;
+  p.failures.max_downtime = 25.0;
+  // Up to a third of windows are permanent; node 0 is never permanent, so
+  // capacity for progress always survives.
+  p.failures.permanent_fraction =
+      static_cast<double>(splitmix64(s) % 3) * 0.15;
+  p.failures.seed = 0xfa11 + trial;
+  p.engine_seed = 1 + trial;
+  return p;
+}
+
+std::unique_ptr<ReservationHook> make_hook(HookKind kind) {
+  switch (kind) {
+    case HookKind::kNone:
+      return std::make_unique<NullReservationHook>();
+    case HookKind::kSsrStrict: {
+      SsrConfig cfg;
+      cfg.min_reserving_priority = 1;
+      return std::make_unique<ReservationManager>(cfg);
+    }
+    case HookKind::kSsrDeadline: {
+      SsrConfig cfg;
+      cfg.min_reserving_priority = 1;
+      cfg.isolation_p = 0.4;
+      return std::make_unique<ReservationManager>(cfg);
+    }
+    case HookKind::kSsrMitigation: {
+      SsrConfig cfg;
+      cfg.min_reserving_priority = 1;
+      cfg.enable_straggler_mitigation = true;
+      return std::make_unique<ReservationManager>(cfg);
+    }
+    case HookKind::kStatic:
+      return std::make_unique<StaticReservationHook>(1, 1);
+    case HookKind::kTimeout:
+      return std::make_unique<TimeoutReservationHook>(15.0);
+    case HookKind::kCount:
+      break;
+  }
+  SSR_CHECK_MSG(false, "bad hook kind");
+  return nullptr;
+}
+
+struct TrialOutcome {
+  RecoveryStats recovery;
+  std::uint64_t events_audited = 0;
+};
+
+TrialOutcome run_chaos_trial(const ChaosParams& p) {
+  SchedConfig cfg;
+  cfg.locality_wait = p.locality_wait;
+  Engine engine(cfg, p.nodes, p.slots_per_node, p.engine_seed);
+  engine.set_reservation_hook(make_hook(p.hook));
+
+  RecoveryStatsCollector recovery;
+  engine.add_observer(&recovery);
+  audit::InvariantAuditor auditor;  // throw_on_violation = true
+  auditor.attach(engine);
+
+  FailureInjector injector(make_random_node_failures(p.failures));
+  injector.attach(engine.sim(), engine);
+
+  std::vector<JobId> ids;
+  for (JobSpec& spec : make_background_jobs(p.bg)) {
+    ids.push_back(engine.submit(std::move(spec)));
+  }
+  ids.push_back(engine.submit(make_kmeans(p.fg_parallelism, 10, p.fg_submit)));
+  engine.run();  // throws CheckError if any job wedges or an invariant breaks
+
+  for (JobId id : ids) {
+    EXPECT_TRUE(engine.job_finished(id)) << "job " << id << " never finished";
+  }
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+  return TrialOutcome{recovery.stats(), auditor.events_audited()};
+}
+
+TEST(Chaos, EveryJobCompletesAndAuditStaysCleanOn200FailureScenarios) {
+  constexpr std::uint64_t kTrials = 200;
+  RecoveryStats totals;
+  for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+    const ChaosParams p = derive_params(trial);
+    SCOPED_TRACE("trial " + std::to_string(trial) + " (hook kind " +
+                 std::to_string(static_cast<int>(p.hook)) + ")");
+    const TrialOutcome outcome = run_chaos_trial(p);
+    ASSERT_GT(outcome.events_audited, 0u);
+    totals.slots_failed += outcome.recovery.slots_failed;
+    totals.slots_recovered += outcome.recovery.slots_recovered;
+    totals.tasks_failed += outcome.recovery.tasks_failed;
+    totals.tasks_requeued += outcome.recovery.tasks_requeued;
+    totals.failures_masked += outcome.recovery.failures_masked;
+    totals.stages_invalidated += outcome.recovery.stages_invalidated;
+    totals.reservations_broken += outcome.recovery.reservations_broken;
+  }
+  // The sweep must actually exercise the failure paths it claims to lock
+  // down, not just schedule failures that land on idle clusters.
+  EXPECT_GT(totals.slots_failed, 100u);
+  EXPECT_GT(totals.slots_recovered, 50u);
+  EXPECT_GT(totals.tasks_failed, 50u);
+  EXPECT_GT(totals.tasks_requeued, 50u);
+  EXPECT_GT(totals.stages_invalidated, 0u);
+}
+
+// Determinism under failure: the same trial parameters reproduce the same
+// recovery counters event for event.
+TEST(Chaos, FailureRunsAreDeterministic) {
+  const ChaosParams p = derive_params(13);
+  const TrialOutcome a = run_chaos_trial(p);
+  const TrialOutcome b = run_chaos_trial(p);
+  EXPECT_EQ(a.events_audited, b.events_audited);
+  EXPECT_EQ(a.recovery.slots_failed, b.recovery.slots_failed);
+  EXPECT_EQ(a.recovery.slots_recovered, b.recovery.slots_recovered);
+  EXPECT_EQ(a.recovery.tasks_failed, b.recovery.tasks_failed);
+  EXPECT_EQ(a.recovery.tasks_requeued, b.recovery.tasks_requeued);
+  EXPECT_EQ(a.recovery.failures_masked, b.recovery.failures_masked);
+  EXPECT_EQ(a.recovery.stages_invalidated, b.recovery.stages_invalidated);
+  EXPECT_EQ(a.recovery.reservations_broken, b.recovery.reservations_broken);
+}
+
+}  // namespace
+}  // namespace ssr

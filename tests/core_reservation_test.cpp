@@ -6,6 +6,7 @@
 #include <cmath>
 #include <memory>
 
+#include "ssr/audit/invariant_auditor.h"
 #include "ssr/common/check.h"
 #include "ssr/core/reservation_manager.h"
 #include "ssr/metrics/collectors.h"
@@ -383,6 +384,153 @@ TEST(ReservationManager, FairSchedulerKeepsShareThroughBarrier) {
   // Workflow alone on its 2-slot share: 8 + 8 + 8 = 24.
   EXPECT_DOUBLE_EQ(engine.jct(wf), 24.0);
   EXPECT_TRUE(engine.job_finished(mo));
+}
+
+// --- Reservation release on slot death ---------------------------------------
+//
+// A failed slot must drop its reservation with ReservationEndReason::
+// SlotFailed (never Expired), the manager must forget the record without
+// counting an expiry, and the run must still complete.  One test per
+// Algorithm 1 parallelism case, each audited end to end.
+
+struct ReleaseReasonLog final : EngineObserver {
+  std::vector<std::pair<SlotId, ReservationEndReason>> released;
+
+  void on_reservation_released(const Engine&, SlotId slot,
+                               ReservationEndReason reason) override {
+    released.emplace_back(slot, reason);
+  }
+  std::size_t count(ReservationEndReason reason) const {
+    std::size_t n = 0;
+    for (const auto& [slot, r] : released) {
+      if (r == reason) ++n;
+    }
+    return n;
+  }
+};
+
+TEST(ReservationManager, DecreasingParallelismReservationDiesWithSlot) {
+  // Case m > n: the slot reserved at the t=5 finish dies at t=6.  The
+  // reservation breaks, phase 2 falls back to the surviving slot, and the
+  // invalidated phase-1 output forces its producer task to re-run.
+  Pathology p{SsrConfig{}};
+  ReleaseReasonLog releases;
+  p.engine.add_observer(&releases);
+  RecoveryStatsCollector recovery;
+  p.engine.add_observer(&recovery);
+  audit::InvariantAuditor auditor;
+  auditor.attach(p.engine);
+  p.engine.sim().schedule_at(6.0, [&] {
+    ASSERT_EQ(p.engine.cluster().reserved_idle_slots().size(), 1u);
+    p.engine.fail_slot(*p.engine.cluster().reserved_idle_slots().begin());
+  });
+  p.engine.run();
+  EXPECT_TRUE(p.engine.job_finished(p.fg));
+  EXPECT_TRUE(p.engine.job_finished(p.bg));
+  EXPECT_EQ(releases.count(ReservationEndReason::SlotFailed), 1u);
+  EXPECT_EQ(recovery.stats().reservations_broken, 1u);
+  EXPECT_EQ(recovery.stats().slots_failed, 1u);
+  // A broken reservation is not a deadline expiry.
+  EXPECT_EQ(releases.count(ReservationEndReason::Expired), 0u);
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+}
+
+TEST(ReservationManager, Case1UnknownParallelismReservationDiesWithSlot) {
+  // Case-1 (parallelism hidden): every freed slot is reserved; one of the
+  // two reservations held at t=5 dies.
+  Engine engine(quick_sched(), 1, 4, 1);
+  engine.set_reservation_hook(make_ssr());
+  ReleaseReasonLog releases;
+  engine.add_observer(&releases);
+  RecoveryStatsCollector recovery;
+  engine.add_observer(&recovery);
+  audit::InvariantAuditor auditor;
+  auditor.attach(engine);
+  const JobId fg = engine.submit(JobBuilder("fg")
+                                     .priority(10)
+                                     .parallelism_known(false)
+                                     .stage(4, fixed_duration(1.0))
+                                     .explicit_durations({2.0, 4.0, 6.0, 8.0})
+                                     .stage(2, fixed_duration(5.0))
+                                     .build());
+  engine.sim().schedule_at(5.0, [&] {
+    ASSERT_EQ(engine.cluster().reserved_idle_slots().size(), 2u);
+    engine.fail_slot(*engine.cluster().reserved_idle_slots().begin());
+  });
+  engine.run();
+  EXPECT_TRUE(engine.job_finished(fg));
+  EXPECT_EQ(releases.count(ReservationEndReason::SlotFailed), 1u);
+  EXPECT_EQ(recovery.stats().reservations_broken, 1u);
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+}
+
+TEST(ReservationManager, PreReservedSlotDiesBeforeTheBarrier) {
+  // Case m < n: bg's slots freed at t=7 are pre-reserved for fg's wide
+  // phase 2; one of them dies at t=8, before the t=10 barrier.
+  SsrConfig cfg;
+  cfg.prereserve_threshold = 0.4;
+  Engine engine(quick_sched(), 1, 4, 1);
+  engine.set_reservation_hook(make_ssr(cfg));
+  ReleaseReasonLog releases;
+  engine.add_observer(&releases);
+  RecoveryStatsCollector recovery;
+  engine.add_observer(&recovery);
+  audit::InvariantAuditor auditor;
+  auditor.attach(engine);
+  const JobId fg = engine.submit(JobBuilder("fg")
+                                     .priority(10)
+                                     .stage(2, fixed_duration(1.0))
+                                     .explicit_durations({5.0, 10.0})
+                                     .stage(4, fixed_duration(5.0))
+                                     .build());
+  const JobId bg = engine.submit(JobBuilder("bg")
+                                     .priority(0)
+                                     .submit_at(1.0)
+                                     .stage(2, fixed_duration(6.0))
+                                     .build());
+  engine.sim().schedule_at(8.0, [&] {
+    // t=5 reservation plus two pre-reservations from bg's t=7 finishes.
+    ASSERT_EQ(engine.cluster().reserved_idle_slots().size(), 3u);
+    engine.fail_slot(*engine.cluster().reserved_idle_slots().rbegin());
+  });
+  engine.run();
+  EXPECT_TRUE(engine.job_finished(fg));
+  EXPECT_TRUE(engine.job_finished(bg));
+  EXPECT_EQ(releases.count(ReservationEndReason::SlotFailed), 1u);
+  EXPECT_EQ(recovery.stats().reservations_broken, 1u);
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+}
+
+TEST(ReservationManager, FinalPhaseSlotDeathBreaksNoReservation) {
+  // Algorithm 1 line 2-3: a final-phase finish releases its slot without
+  // reserving, so killing that freed slot breaks nothing — the death is
+  // absorbed as plain capacity loss.
+  Engine engine(quick_sched(), 1, 2, 1);
+  engine.set_reservation_hook(make_ssr());
+  ReleaseReasonLog releases;
+  engine.add_observer(&releases);
+  RecoveryStatsCollector recovery;
+  engine.add_observer(&recovery);
+  audit::InvariantAuditor auditor;
+  auditor.attach(engine);
+  const JobId fg = engine.submit(JobBuilder("fg")
+                                     .priority(10)
+                                     .stage(2, fixed_duration(1.0))
+                                     .explicit_durations({5.0, 10.0})
+                                     .build());
+  engine.sim().schedule_at(6.0, [&] {
+    ASSERT_TRUE(engine.cluster().reserved_idle_slots().empty());
+    ASSERT_FALSE(engine.cluster().idle_slots().empty());
+    engine.fail_slot(*engine.cluster().idle_slots().begin());
+  });
+  engine.run();
+  EXPECT_TRUE(engine.job_finished(fg));
+  EXPECT_DOUBLE_EQ(engine.jct(fg), 10.0);
+  EXPECT_EQ(releases.count(ReservationEndReason::SlotFailed), 0u);
+  EXPECT_EQ(recovery.stats().reservations_broken, 0u);
+  EXPECT_EQ(recovery.stats().slots_failed, 1u);
+  EXPECT_EQ(recovery.stats().tasks_requeued, 0u);
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
 }
 
 TEST(ReservationManager, ConfigValidation) {

@@ -137,7 +137,24 @@ struct EventLog final : EngineObserver {
   }
 };
 
-std::vector<SchedEvent> run_trial(const TrialParams& p, bool reference) {
+// End-of-run metric totals; doubles compare exactly, so equality means
+// bit-identical accounting, not just close numbers.
+struct RunTotals {
+  double busy = 0.0;
+  double reserved_idle = 0.0;
+  double dead = 0.0;
+  double now = 0.0;
+
+  bool operator==(const RunTotals&) const = default;
+};
+
+struct TrialResult {
+  std::vector<SchedEvent> events;
+  RunTotals totals;
+};
+
+TrialResult run_trial(const TrialParams& p, bool reference,
+                      bool empty_injector = false) {
   SchedConfig cfg;
   cfg.locality_wait = p.locality_wait;
   Engine engine(cfg, p.nodes, p.slots_per_node, p.engine_seed);
@@ -148,12 +165,25 @@ std::vector<SchedEvent> run_trial(const TrialParams& p, bool reference) {
   engine.set_reservation_hook(std::move(hook));
   EventLog log;
   engine.add_observer(&log);
+  // An attached injector with an empty schedule must be a perfect no-op:
+  // it enqueues nothing, so the event sequence and every metric stay
+  // bit-identical to a run that never saw an injector.
+  FailureInjector injector({});
+  if (empty_injector) {
+    injector.attach(engine.sim(), engine);
+  }
   for (JobSpec& spec : make_background_jobs(p.bg)) {
     engine.submit(std::move(spec));
   }
   engine.submit(make_kmeans(p.fg_parallelism, 10, p.fg_submit));
   engine.run();
-  return std::move(log.events);
+  TrialResult result;
+  result.events = std::move(log.events);
+  result.totals.busy = engine.cluster().total_busy_time();
+  result.totals.reserved_idle = engine.cluster().total_reserved_idle_time();
+  result.totals.dead = engine.cluster().total_dead_time();
+  result.totals.now = engine.sim().now();
+  return result;
 }
 
 std::string describe(const SchedEvent& e) {
@@ -168,8 +198,8 @@ TEST(DifferentialSelection, OptimizedMatchesReferenceOn200Scenarios) {
   constexpr std::uint64_t kTrials = 200;
   for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
     const TrialParams p = derive_params(trial);
-    const std::vector<SchedEvent> optimized = run_trial(p, false);
-    const std::vector<SchedEvent> reference = run_trial(p, true);
+    const std::vector<SchedEvent> optimized = run_trial(p, false).events;
+    const std::vector<SchedEvent> reference = run_trial(p, true).events;
     ASSERT_EQ(optimized.size(), reference.size())
         << "trial " << trial << " (hook kind "
         << static_cast<int>(p.hook) << "): event counts diverged";
@@ -199,7 +229,31 @@ TEST(DifferentialSelection, ReferenceSelectorIsTransparent) {
   }
   engine.submit(make_kmeans(p.fg_parallelism, 10, p.fg_submit));
   engine.run();
-  EXPECT_EQ(log.events, run_trial(p, true));
+  EXPECT_EQ(log.events, run_trial(p, true).events);
+}
+
+// A FailureInjector attached with an empty schedule must leave the run
+// bit-identical — same event stream, same metric totals — to a run that
+// never attached an injector (run_scenario relies on this to make the
+// `failures` option safe to thread through every experiment).
+TEST(DifferentialSelection, EmptyFailureScheduleIsANoOp) {
+  constexpr std::uint64_t kTrials = 50;
+  for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+    const TrialParams p = derive_params(trial);
+    const TrialResult plain = run_trial(p, false);
+    const TrialResult injected = run_trial(p, false, /*empty_injector=*/true);
+    ASSERT_EQ(plain.events.size(), injected.events.size())
+        << "trial " << trial << " (hook kind " << static_cast<int>(p.hook)
+        << "): event counts diverged";
+    for (std::size_t i = 0; i < plain.events.size(); ++i) {
+      ASSERT_EQ(plain.events[i], injected.events[i])
+          << "trial " << trial << " diverged at event " << i << ":\n  plain: "
+          << describe(plain.events[i]) << "\n  injected: "
+          << describe(injected.events[i]);
+    }
+    ASSERT_TRUE(plain.totals == injected.totals)
+        << "trial " << trial << ": metric totals diverged";
+  }
 }
 
 }  // namespace

@@ -48,6 +48,19 @@ void append_run(std::ostringstream& out, const std::string& title,
       << " copies=" << run.task_totals.copies_started
       << " local=" << run.task_totals.local_starts << '\n';
   out << "  reservations_expired " << run.reservations_expired << '\n';
+  // Failure-free digests (fig12/fig14/fig15) stay byte-identical: the
+  // recovery block only appears once a run actually saw an injected fault.
+  if (run.recovery.slots_failed > 0 || run.dead_time > 0.0) {
+    out << "  recovery slots_failed=" << run.recovery.slots_failed
+        << " slots_recovered=" << run.recovery.slots_recovered
+        << " tasks_failed=" << run.recovery.tasks_failed
+        << " tasks_requeued=" << run.recovery.tasks_requeued
+        << " failures_masked=" << run.recovery.failures_masked
+        << " stages_invalidated=" << run.recovery.stages_invalidated
+        << " reservations_broken=" << run.recovery.reservations_broken
+        << '\n';
+    out << "  dead_time " << run.dead_time << '\n';
+  }
   // The run completed without a CheckError; in -DSSR_AUDIT=ON builds this
   // line also certifies the invariant auditor saw no violation.
   out << "  audit_clean 1\n";
@@ -156,6 +169,52 @@ TEST(GoldenReplay, Fig15ShapedLargeScale) {
                run_scenario(cluster, std::move(jobs), o));
   }
   compare_golden("fig15.golden", digest.str());
+}
+
+// Failure-recovery shape: the fig12 isolation scenario, scaled down, with a
+// deterministic node-failure schedule injected mid-run.  The digest pins the
+// full kill -> re-queue -> copy-wins ordering: attempts killed by dead slots
+// re-enter the queue, straggler copies already running elsewhere win the
+// race and mask failures, and invalidated resident outputs force producer
+// stages to re-run — all without losing a single task.
+TEST(GoldenReplay, FailureRecoveryShapedScenario) {
+  const ClusterSpec cluster{.nodes = 10, .slots_per_node = 2};
+  TraceGenConfig bg;
+  bg.num_jobs = 8;
+  bg.window = 300.0;
+  bg.seed = 3001;
+
+  RunOptions o;
+  o.seed = 1;
+  o.ssr = SsrConfig{};
+  o.ssr->min_reserving_priority = 1;
+  o.ssr->enable_straggler_mitigation = true;
+  // Two transient node outages during the foreground job plus one permanent
+  // loss, so the digest covers kill/re-queue, recovery, and a node that
+  // never comes back (its resident outputs stay lost).
+  o.failures.events.push_back(
+      FailureEvent{FailureEvent::Scope::Node, 0, 120.0, 160.0});
+  o.failures.events.push_back(
+      FailureEvent{FailureEvent::Scope::Node, 7, 140.0, 170.0});
+  o.failures.events.push_back(
+      FailureEvent{FailureEvent::Scope::Node, 5, 110.0, kTimeInfinity});
+
+  std::vector<JobSpec> jobs = make_background_jobs(bg);
+  jobs.push_back(make_kmeans(12, 10, bg.window * 0.25));
+
+  const RunResult run = run_scenario(cluster, std::move(jobs), o);
+  // The scenario must actually drive the recovery machinery it pins.
+  EXPECT_GT(run.recovery.slots_failed, 0u);
+  EXPECT_GT(run.recovery.tasks_failed, 0u);
+  EXPECT_GT(run.recovery.tasks_requeued, 0u);
+  EXPECT_GT(run.recovery.failures_masked, 0u);
+  EXPECT_GT(run.recovery.stages_invalidated, 0u);
+  EXPECT_GT(run.recovery.reservations_broken, 0u);
+  EXPECT_GT(run.dead_time, 0.0);
+
+  std::ostringstream digest;
+  append_run(digest, "failure/ssr+mitigation", run);
+  compare_golden("failure_recovery.golden", digest.str());
 }
 
 }  // namespace

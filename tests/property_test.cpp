@@ -52,6 +52,9 @@ class AuditingHook : public ReservationHook {
       case SlotState::Busy:
         EXPECT_FALSE(result) << "busy slot approved";
         break;
+      case SlotState::Dead:
+        EXPECT_FALSE(result) << "dead slot approved";
+        break;
     }
     return result;
   }
