@@ -1,0 +1,149 @@
+#include "ssr/audit/tenant_audit.h"
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "ssr/sched/virtual_cluster.h"
+
+namespace ssr::audit {
+
+namespace {
+
+std::string job_subject(const std::string& tenant, JobId job) {
+  std::ostringstream os;
+  os << tenant << "/job" << job.v;
+  return os.str();
+}
+
+/// Log-replayed ground truth for one tenant.
+struct Replayed {
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::int64_t demand_in_flight = 0;  ///< signed to expose under-runs
+  SimTime last_admitted_at = -1.0;
+  SimTime last_queued_request = -1.0;  ///< FIFO check over from-queue records
+};
+
+}  // namespace
+
+std::vector<Violation> audit_virtual_clusters(const VirtualClusterManager& vcm,
+                                              std::uint32_t physical_slots) {
+  std::vector<Violation> out;
+  const auto violate = [&out](const char* invariant, SimTime time,
+                              std::string subject, std::string expected,
+                              std::string actual) {
+    out.push_back(Violation{invariant, time, std::move(subject),
+                            std::move(expected), std::move(actual)});
+  };
+
+  std::unordered_map<std::string, Replayed> replay;
+  std::unordered_map<std::uint32_t, std::uint32_t> admitted_demand;  // JobId.v
+
+  for (const AdmissionRecord& r : vcm.admission_log()) {
+    Replayed& t = replay[r.tenant];
+    t.admitted += 1;
+    t.demand_in_flight += r.demand;
+    admitted_demand.emplace(r.job.v, r.demand);
+
+    if (r.in_flight_after > r.max_at_admit) {
+      violate(kTenantShareOverrun, r.admitted_at,
+              job_subject(r.tenant, r.job),
+              "in-flight demand <= max share " +
+                  std::to_string(r.max_at_admit),
+              std::to_string(r.in_flight_after) + " slots after admission");
+    }
+    if (r.admitted_at < r.requested_at) {
+      violate(kTenantAdmissionOrder, r.admitted_at,
+              job_subject(r.tenant, r.job),
+              "admission at or after the request (" +
+                  std::to_string(r.requested_at) + ")",
+              "admitted at " + std::to_string(r.admitted_at));
+    }
+    if (r.admitted_at < t.last_admitted_at) {
+      violate(kTenantAdmissionOrder, r.admitted_at,
+              job_subject(r.tenant, r.job),
+              "admission instants non-decreasing per tenant (last " +
+                  std::to_string(t.last_admitted_at) + ")",
+              "admitted at " + std::to_string(r.admitted_at));
+    }
+    t.last_admitted_at = r.admitted_at;
+    if (r.from_queue) {
+      // The queue is FIFO, so from-queue admissions must come out in
+      // request order.
+      if (r.requested_at < t.last_queued_request) {
+        violate(kTenantAdmissionOrder, r.admitted_at,
+                job_subject(r.tenant, r.job),
+                "queue served in request order (last request " +
+                    std::to_string(t.last_queued_request) + ")",
+                "request from " + std::to_string(r.requested_at));
+      }
+      t.last_queued_request = r.requested_at;
+    }
+  }
+
+  SimTime last_finish = 0.0;
+  for (const CompletionRecord& c : vcm.completion_log()) {
+    Replayed& t = replay[c.tenant];
+    t.completed += 1;
+    t.demand_in_flight -= c.demand;
+    last_finish = c.finished_at;
+    const auto it = admitted_demand.find(c.job.v);
+    if (it == admitted_demand.end()) {
+      violate(kTenantSlotConservation, c.finished_at,
+              job_subject(c.tenant, c.job),
+              "every completion matches a logged admission", "no admission");
+    } else if (it->second != c.demand) {
+      violate(kTenantSlotConservation, c.finished_at,
+              job_subject(c.tenant, c.job),
+              "released demand == admitted demand (" +
+                  std::to_string(it->second) + ")",
+              "released " + std::to_string(c.demand));
+    }
+    if (t.demand_in_flight < 0) {
+      violate(kTenantSlotConservation, c.finished_at,
+              job_subject(c.tenant, c.job),
+              "in-flight demand >= 0 after release",
+              std::to_string(t.demand_in_flight) + " slots");
+    }
+  }
+
+  std::uint64_t guaranteed = 0;
+  for (const std::string& name : vcm.tenant_names()) {
+    const VirtualClusterSpec& spec = vcm.spec(name);
+    const TenantStats& stats = vcm.stats(name);
+    const Replayed& t = replay[name];
+    guaranteed += spec.min_slots;
+
+    const auto counter = [&](const char* what, std::uint64_t expected,
+                             std::uint64_t actual) {
+      if (expected != actual) {
+        violate(kTenantSlotConservation, last_finish, name,
+                std::string(what) + " == " + std::to_string(expected) +
+                    " (log replay)",
+                std::to_string(actual) + " (live counter)");
+      }
+    };
+    counter("admitted", t.admitted, stats.admitted);
+    counter("completed", t.completed, stats.completed);
+    counter("jobs in flight", t.admitted - t.completed,
+            stats.jobs_in_flight);
+    counter("demand in flight",
+            static_cast<std::uint64_t>(
+                t.demand_in_flight < 0 ? 0 : t.demand_in_flight),
+            stats.demand_in_flight);
+    counter("submitted = admitted + rejected + queued",
+            stats.admitted + stats.rejected + vcm.queued_jobs(name),
+            stats.submitted);
+  }
+  if (guaranteed > physical_slots) {
+    violate(kTenantSlotConservation, last_finish, "cluster",
+            "guaranteed minima <= " + std::to_string(physical_slots) +
+                " physical slots",
+            std::to_string(guaranteed) + " slots promised");
+  }
+  return out;
+}
+
+}  // namespace ssr::audit

@@ -1,0 +1,36 @@
+// Tenant-aware invariants for the multi-tenant virtual-cluster layer.
+//
+// VirtualClusterManager keeps an append-only admission/completion log; this
+// audit replays it after (or during) a run and cross-checks the manager's
+// incremental per-tenant counters against the replayed ground truth.  It is
+// the admission-boundary analog of InvariantAuditor: where the auditor
+// mirrors slot state event by event, this pass proves the three properties
+// the virtual-cluster layer promises —
+//
+//   * share bounds:   no admission ever exceeded the tenant's max share at
+//                     the instant it was granted (kTenantShareOverrun);
+//   * admission order: per tenant, admissions are FIFO-monotone in time and
+//                     never precede their request (kTenantAdmissionOrder);
+//   * conservation:   guaranteed minima fit the physical cluster, and each
+//                     tenant's live counters equal the log replay
+//                     (kTenantSlotConservation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ssr/audit/violation.h"
+
+namespace ssr {
+class VirtualClusterManager;
+}  // namespace ssr
+
+namespace ssr::audit {
+
+/// Replay the manager's logs and return every violated tenant invariant
+/// (empty = clean).  Callable mid-run (counters are checked against the
+/// prefix replayed so far) or after drain().
+std::vector<Violation> audit_virtual_clusters(
+    const VirtualClusterManager& vcm, std::uint32_t physical_slots);
+
+}  // namespace ssr::audit

@@ -53,6 +53,20 @@ inline constexpr const char* kDeadSlotUse = "dead-slot-use";
 /// task and recovery never re-ran it.
 inline constexpr const char* kTaskLost = "task-lost";
 
+// --- Multi-tenant virtual clusters (audit/tenant_audit.h) -------------------
+
+/// An admission pushed a tenant's in-flight slot demand past its maximum
+/// share at the admission instant.
+inline constexpr const char* kTenantShareOverrun = "tenant-share-overrun";
+/// Admission within a tenant was not FIFO-monotone: admission instants went
+/// backwards, or a job was admitted before it was requested.
+inline constexpr const char* kTenantAdmissionOrder = "tenant-admission-order";
+/// Virtual-cluster slot conservation broken: guaranteed minima exceed the
+/// physical cluster, or a tenant's counters disagree with the replayed
+/// admission/completion log.
+inline constexpr const char* kTenantSlotConservation =
+    "tenant-slot-conservation";
+
 /// One invariant violation, ready for logging or test assertions.
 struct Violation {
   std::string invariant;  ///< one of the k* ids above

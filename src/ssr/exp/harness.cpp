@@ -1,0 +1,76 @@
+#include "ssr/exp/harness.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ssr/audit/invariant_auditor.h"
+#include "ssr/core/reservation_manager.h"
+
+namespace ssr {
+
+ScenarioHarness::ScenarioHarness(const ClusterSpec& cluster,
+                                 const RunOptions& options)
+    : engine_(options.sched, cluster.nodes, cluster.slots_per_node,
+              options.seed),
+      injector_(options.failures) {
+  std::unique_ptr<ReservationHook> hook;
+  if (options.hook_factory) {
+    hook = options.hook_factory();
+  } else if (options.ssr) {
+    hook = std::make_unique<ReservationManager>(*options.ssr);
+  }
+  if (hook != nullptr) {
+    // The engine owns the hook; keep a typed view for metrics extraction.
+    manager_ = dynamic_cast<const ReservationManager*>(hook.get());
+    engine_.set_reservation_hook(std::move(hook));
+  }
+  engine_.add_observer(&task_stats_);
+  engine_.add_observer(&recovery_stats_);
+  if (!options.failures.empty()) {
+    injector_.attach(engine_.sim(), engine_);
+  }
+#if defined(SSR_AUDIT_ENABLED)
+  // -DSSR_AUDIT=ON: every scenario run (each test case and bench/sweep
+  // trial) is audited; the first invariant violation throws CheckError.
+  auditor_ = std::make_unique<audit::InvariantAuditor>();
+  auditor_->attach(engine_);
+#endif
+}
+
+ScenarioHarness::~ScenarioHarness() = default;
+
+RunResult ScenarioHarness::collect(const std::vector<JobId>& ids) {
+  engine_.cluster().settle(engine_.sim().now());
+  RunResult result;
+  result.jobs.reserve(ids.size());
+  for (JobId id : ids) {
+    JobResult jr;
+    jr.id = id;
+    jr.name = engine_.job_name(id);
+    jr.priority = engine_.graph(id).priority();
+    jr.submit = engine_.graph(id).submit_time();
+    jr.finish = engine_.job_finish_time(id);
+    jr.jct = engine_.jct(id);
+    jr.busy_seconds = task_stats_.stats(id).busy_seconds;
+    jr.reserved_idle_seconds = engine_.cluster().reserved_idle_time_of(id);
+    result.jobs.push_back(std::move(jr));
+    result.makespan = std::max(result.makespan, engine_.job_finish_time(id));
+  }
+  result.busy_time = engine_.cluster().total_busy_time();
+  result.reserved_idle_time = engine_.cluster().total_reserved_idle_time();
+  result.utilization =
+      result.makespan > 0.0
+          ? result.busy_time /
+                (result.makespan *
+                 static_cast<double>(engine_.cluster().num_slots()))
+          : 0.0;
+  if (manager_ != nullptr) {
+    result.reservations_expired = manager_->reservations_expired();
+  }
+  result.task_totals = task_stats_.totals();
+  result.recovery = recovery_stats_.stats();
+  result.dead_time = engine_.cluster().total_dead_time();
+  return result;
+}
+
+}  // namespace ssr

@@ -1,0 +1,62 @@
+// Shared engine wiring for scenario runners and equivalence tests.
+//
+// ScenarioHarness bundles exactly what run_scenario() builds around an
+// Engine — reservation hook, metrics collectors, failure injector, and
+// (under -DSSR_AUDIT=ON) the invariant auditor — in one construction order,
+// so the closed harness (scenario.cpp), the open-system runner
+// (open_scenario.cpp), and the open-vs-closed equivalence suite all drive
+// *identically configured* engines.  The bit-identical guarantee between
+// run_scenario() and incremental submit/advance_to stepping rests on this
+// shared wiring: any attach-order drift would shift observer callback order
+// and break digest equality.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ssr/exp/scenario.h"
+#include "ssr/metrics/collectors.h"
+#include "ssr/sched/engine.h"
+#include "ssr/sim/failure_injector.h"
+
+namespace ssr::audit {
+class InvariantAuditor;
+}  // namespace ssr::audit
+
+namespace ssr {
+
+class ReservationManager;
+
+class ScenarioHarness {
+ public:
+  /// Builds the engine and attaches, in order: reservation hook, task-stats
+  /// collector, recovery-stats collector, failure injector (only for
+  /// non-empty schedules — a failure-free run stays bit-identical to one
+  /// that never saw an injector), invariant auditor (only when the library
+  /// was built with -DSSR_AUDIT=ON).
+  ScenarioHarness(const ClusterSpec& cluster, const RunOptions& options);
+  ~ScenarioHarness();
+
+  ScenarioHarness(const ScenarioHarness&) = delete;
+  ScenarioHarness& operator=(const ScenarioHarness&) = delete;
+
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+
+  /// Collect the RunResult for the given jobs (submission order) after the
+  /// engine drained.  Settles cluster accounting first (idempotent).
+  RunResult collect(const std::vector<JobId>& ids);
+
+ private:
+  Engine engine_;
+  TaskStatsCollector task_stats_;
+  RecoveryStatsCollector recovery_stats_;
+  FailureInjector injector_;
+  const ReservationManager* manager_ = nullptr;
+  /// Present only when ssr_exp was compiled with SSR_AUDIT_ENABLED; kept as
+  /// a pointer so this header stays macro-free (no ODR drift between the
+  /// library and test translation units).
+  std::unique_ptr<audit::InvariantAuditor> auditor_;
+};
+
+}  // namespace ssr

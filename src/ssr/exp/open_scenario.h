@@ -1,0 +1,40 @@
+// Open-system experiment harness: multi-tenant virtual clusters fed by a
+// continuous arrival stream.
+//
+// Where run_scenario() models the paper's closed-batch experiments (submit
+// everything, run to completion), run_open_scenario() models the service
+// deployment the paper motivates: a long-lived cluster whose tenants submit
+// jobs while it executes.  The driver steps the engine to each arrival
+// instant (advance_to), offers the job to the tenant's virtual cluster
+// (admission may admit, queue, or reject it), and finally drains the engine
+// to quiescence.  Per-tenant isolation/SLO accounting comes back in
+// RunResult::tenants; under -DSSR_AUDIT=ON the run additionally replays the
+// tenant audit (audit/tenant_audit.h) and throws CheckError on the first
+// violated tenant invariant, mirroring the closed harness's auditor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ssr/exp/scenario.h"
+#include "ssr/sched/virtual_cluster.h"
+#include "ssr/workload/open_arrival.h"
+
+namespace ssr {
+
+/// Tenant layout of an open run: virtual-cluster shares per tenant.  Every
+/// arrival's tenant name must match one spec.
+struct OpenScenarioSpec {
+  std::vector<VirtualClusterSpec> tenants;
+};
+
+/// Drive `arrivals` (must be sorted by arrival time — make_open_arrivals
+/// output is) through admission control and the stepping engine, then drain.
+/// Jobs in RunResult::jobs are the *admitted* jobs in admission order;
+/// rejected submissions only appear in the tenant counters.
+RunResult run_open_scenario(const ClusterSpec& cluster,
+                            const OpenScenarioSpec& spec,
+                            std::vector<OpenArrival> arrivals,
+                            const RunOptions& options);
+
+}  // namespace ssr

@@ -5,9 +5,8 @@
 #include <memory>
 #include <string>
 
-#include "ssr/audit/invariant_auditor.h"
 #include "ssr/common/check.h"
-#include "ssr/core/reservation_manager.h"
+#include "ssr/exp/harness.h"
 #include "ssr/sched/engine.h"
 
 namespace ssr {
@@ -34,78 +33,15 @@ double RunResult::mean_jct_with_prefix(const std::string& prefix) const {
 
 RunResult run_scenario(const ClusterSpec& cluster, std::vector<JobSpec> jobs,
                        const RunOptions& options) {
-  Engine engine(options.sched, cluster.nodes, cluster.slots_per_node,
-                options.seed);
-  const ReservationManager* manager = nullptr;
-  std::unique_ptr<ReservationHook> hook;
-  if (options.hook_factory) {
-    hook = options.hook_factory();
-  } else if (options.ssr) {
-    hook = std::make_unique<ReservationManager>(*options.ssr);
-  }
-  if (hook != nullptr) {
-    // The engine owns the hook; keep a typed view for metrics extraction.
-    manager = dynamic_cast<const ReservationManager*>(hook.get());
-    engine.set_reservation_hook(std::move(hook));
-  }
-  TaskStatsCollector task_stats;
-  engine.add_observer(&task_stats);
-  RecoveryStatsCollector recovery_stats;
-  engine.add_observer(&recovery_stats);
-
-  // Attach the injector only for non-empty schedules: attaching schedules
-  // events, and a failure-free run must stay bit-identical to one that never
-  // saw an injector.
-  FailureInjector injector(options.failures);
-  if (!options.failures.empty()) {
-    injector.attach(engine.sim(), engine);
-  }
-
-#if defined(SSR_AUDIT_ENABLED)
-  // -DSSR_AUDIT=ON: every scenario run (each test case and bench/sweep
-  // trial) is audited; the first invariant violation throws CheckError.
-  audit::InvariantAuditor auditor;
-  auditor.attach(engine);
-#endif
-
+  ScenarioHarness harness(cluster, options);
+  Engine& engine = harness.engine();
   std::vector<JobId> ids;
   ids.reserve(jobs.size());
   for (JobSpec& spec : jobs) {
     ids.push_back(engine.submit(std::move(spec)));
   }
   engine.run();
-
-  engine.cluster().settle(engine.sim().now());
-  RunResult result;
-  result.jobs.reserve(ids.size());
-  for (JobId id : ids) {
-    JobResult jr;
-    jr.id = id;
-    jr.name = engine.job_name(id);
-    jr.priority = engine.graph(id).priority();
-    jr.submit = engine.graph(id).submit_time();
-    jr.finish = engine.job_finish_time(id);
-    jr.jct = engine.jct(id);
-    jr.busy_seconds = task_stats.stats(id).busy_seconds;
-    jr.reserved_idle_seconds = engine.cluster().reserved_idle_time_of(id);
-    result.jobs.push_back(std::move(jr));
-    result.makespan = std::max(result.makespan, engine.job_finish_time(id));
-  }
-  result.busy_time = engine.cluster().total_busy_time();
-  result.reserved_idle_time = engine.cluster().total_reserved_idle_time();
-  result.utilization =
-      result.makespan > 0.0
-          ? result.busy_time /
-                (result.makespan *
-                 static_cast<double>(engine.cluster().num_slots()))
-          : 0.0;
-  if (manager != nullptr) {
-    result.reservations_expired = manager->reservations_expired();
-  }
-  result.task_totals = task_stats.totals();
-  result.recovery = recovery_stats.stats();
-  result.dead_time = engine.cluster().total_dead_time();
-  return result;
+  return harness.collect(ids);
 }
 
 double alone_jct(const ClusterSpec& cluster, JobSpec job,

@@ -55,6 +55,26 @@ struct JobResult {
   double reserved_idle_seconds = 0.0;
 };
 
+/// Per-tenant isolation/SLO accounting of an open-system run (see
+/// sched/virtual_cluster.h for the admission semantics behind the counters).
+struct TenantResult {
+  std::string name;
+  std::uint32_t min_slots = 0;  ///< final shares (after resizes/transfers)
+  std::uint32_t max_slots = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  /// Submissions that spent time queued before admission.
+  std::uint64_t queued = 0;
+  /// Peak aggregate in-flight slot demand (the admitted quantity the max
+  /// share bounds; never exceeds max_slots held at admission time).
+  std::uint32_t peak_demand = 0;
+  double mean_queue_delay = 0.0;  ///< admission - request, over admissions
+  double max_queue_delay = 0.0;
+  double mean_jct = 0.0;  ///< engine JCT (excludes queue delay)
+};
+
 struct RunResult {
   std::vector<JobResult> jobs;  ///< submission order
   SimTime makespan = 0.0;       ///< last job finish time
@@ -70,6 +90,9 @@ struct RunResult {
   /// Slot-seconds spent Dead (excluded from the utilization denominator a
   /// failure-aware caller should use).
   double dead_time = 0.0;
+  /// Tenant accounting, in tenant declaration order.  Empty for closed
+  /// (run_scenario) runs — only run_open_scenario populates it.
+  std::vector<TenantResult> tenants;
 
   /// JCT of the first job whose name matches exactly; throws if absent.
   double jct_of(const std::string& name) const;

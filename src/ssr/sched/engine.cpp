@@ -45,7 +45,9 @@ Engine::Engine(SchedConfig config,
 Engine::~Engine() = default;
 
 JobId Engine::submit(JobSpec spec) {
-  SSR_CHECK_MSG(!started_, "submit() must precede run()");
+  SSR_CHECK_MSG(!drained_, "submit() after drain(): the engine is closed");
+  SSR_CHECK_MSG(spec.submit_time >= sim_.now(),
+                "job submit time is in the simulated past");
   const JobId id{static_cast<std::uint32_t>(jobs_.size())};
   auto job = std::make_unique<JobState>(JobGraph(id, std::move(spec)));
   const std::uint32_t n = job->graph.num_stages();
@@ -64,12 +66,17 @@ JobId Engine::submit(JobSpec spec) {
 
   const SimTime at = job->graph.submit_time();
   jobs_.push_back(std::move(job));
-  sim_.schedule_at(at, [this, id] { arrive(id); });
+  sim_.schedule_at(at, EventBand::kArrival, [this, id] { arrive(id); });
   return id;
 }
 
+JobId Engine::submit_job(JobSpec spec, SimTime at) {
+  spec.submit_time = at;
+  return submit(std::move(spec));
+}
+
 void Engine::set_reservation_hook(std::unique_ptr<ReservationHook> hook) {
-  SSR_CHECK_MSG(!started_, "hook must be installed before run()");
+  SSR_CHECK_MSG(!started_, "hook must be installed before the first step");
   SSR_CHECK_MSG(hook != nullptr, "hook must not be null");
   hook_ = std::move(hook);
 }
@@ -79,10 +86,28 @@ void Engine::add_observer(EngineObserver* observer) {
   observers_.push_back(observer);
 }
 
-void Engine::run() {
-  SSR_CHECK_MSG(!started_, "run() may be called only once");
+void Engine::advance_to(SimTime t) {
+  SSR_CHECK_MSG(!drained_, "advance_to() after drain(): the engine is closed");
   started_ = true;
+  sim_.run_until(t);  // rejects a horizon in the past
+}
+
+bool Engine::all_jobs_finished() const {
+  for (const auto& job : jobs_) {
+    if (!job->done()) return false;
+  }
+  return true;
+}
+
+void Engine::drain() {
+  SSR_CHECK_MSG(!drained_, "drain()/run() may be called only once");
+  started_ = true;
+  // The engine closes only after quiescence: while the queue drains,
+  // observers may still feed jobs back through submit() — the virtual-cluster
+  // admission pump releases queued work from on_job_finished, and the run
+  // loop naturally absorbs the new arrival events.
   sim_.run();
+  drained_ = true;
   cluster_.settle(sim_.now());
   for (const auto& job : jobs_) {
     SSR_CHECK_MSG(job->done(), "simulation wedged: "
@@ -94,6 +119,8 @@ void Engine::run() {
   }
   for (EngineObserver* o : observers_) o->on_run_complete(*this);
 }
+
+void Engine::run() { drain(); }
 
 const JobGraph& Engine::graph(JobId job) const { return state(job).graph; }
 

@@ -1,6 +1,14 @@
 // The scheduling engine: Spark's DAGScheduler + TaskSchedulerImpl over the
 // discrete-event cluster.
 //
+// The engine is an *open system*: jobs may be submitted at any time while
+// the simulation steps forward (submit + advance_to + drain), which is what
+// the long-lived service mode and the multi-tenant virtual-cluster layer
+// build on.  The classic closed-batch experiment — submit everything, then
+// run() — is a thin wrapper over the same stepping core, and produces
+// bit-identical event streams (see EventBand for the tie-break contract the
+// equivalence rests on).
+//
 // Responsibilities:
 //  * job lifecycle: arrival events, barrier tracking, stage submission in
 //    topological order, job completion;
@@ -72,21 +80,51 @@ class Engine : public FailureSink {
 
   // --- Setup ---------------------------------------------------------------
 
-  /// Register a job; its arrival fires at spec.submit_time.  Must be called
-  /// before run().
+  /// Register a job; its arrival fires at spec.submit_time, which must not
+  /// be in the simulated past.  May be called at any point before drain():
+  /// the closed harness submits everything up front, the open-system
+  /// stepping API (advance_to) submits while the simulation runs.  Arrival
+  /// events carry EventBand::kArrival, so a job submitted mid-run fires in
+  /// exactly the same-instant order a closed run would have given it.
   JobId submit(JobSpec spec);
 
+  /// Open-system submission: `at` overrides spec.submit_time.  Sugar for the
+  /// submit_job(tenant, job, t) surface; tenancy itself lives in
+  /// VirtualClusterManager, which calls back into submit() on admission.
+  JobId submit_job(JobSpec spec, SimTime at);
+
   /// Install the reservation policy (the SSR core).  Must be called before
-  /// run(); defaults to NullReservationHook.
+  /// the simulation starts stepping; defaults to NullReservationHook.
   void set_reservation_hook(std::unique_ptr<ReservationHook> hook);
 
-  /// Register a metrics observer (non-owning; must outlive run()).
+  /// Register a metrics observer (non-owning; must outlive the engine's
+  /// last step).
   void add_observer(EngineObserver* observer);
 
-  /// Run the simulation until every submitted job completes.  Throws
-  /// CheckError if the system wedges with unfinished jobs (an invariant
-  /// violation in a scheduling policy).
+  // --- Open-system stepping ------------------------------------------------
+
+  /// Process every event with time <= t; afterwards now() == t exactly,
+  /// whether or not events fired (simulated time passes in an open system).
+  /// Events tied at the boundary all fire, in band/insertion order; events
+  /// strictly past t are never popped (bounded advance).  Interleave with
+  /// submit() to model continuous job traffic.
+  void advance_to(SimTime t);
+
+  /// Run the simulation to quiescence and finalize the run: settles slot
+  /// accounting, verifies every submitted job completed (throws CheckError
+  /// if the system wedges — an invariant violation in a scheduling policy),
+  /// and fires on_run_complete.  Terminal: no submit or advance after.
+  void drain();
+
+  /// Closed-batch wrapper over the stepping core: exactly drain().  Kept as
+  /// the one-shot API every batch experiment uses.
   void run();
+
+  /// Current simulated time (the stepping clock).
+  SimTime now() const { return sim_.now(); }
+
+  /// True once every job submitted so far has finished.
+  bool all_jobs_finished() const;
 
   // --- Introspection -------------------------------------------------------
 
@@ -241,7 +279,8 @@ class Engine : public FailureSink {
 
   std::unique_ptr<ReservationHook> hook_;
   std::vector<EngineObserver*> observers_;
-  bool started_ = false;
+  bool started_ = false;  ///< the simulation has begun stepping
+  bool drained_ = false;  ///< drain()/run() completed; the engine is closed
 };
 
 }  // namespace ssr

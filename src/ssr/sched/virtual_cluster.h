@@ -1,0 +1,223 @@
+// Multi-tenant virtual clusters over the open-system engine.
+//
+// A virtual cluster is a named, elastic slice of the physical cluster: a
+// tenant owns a guaranteed minimum share and an elastic maximum share of
+// slots, expressed in slot counts.  The manager is pure *admission control*
+// layered on the engine's stepping API — it decides, at submission time,
+// whether a tenant's job enters the engine now, waits in the tenant's FIFO
+// queue, or is rejected outright.  Inside the engine, admitted jobs compete
+// under the ordinary scheduling policy; the share bounds are enforced at the
+// admission boundary (peak slot demand of in-flight jobs per tenant), which
+// is how long-running services carve isolation out of a shared cluster
+// without static partitioning.
+//
+// Interplay with the stepping API: drivers advance the engine to a job's
+// arrival instant, then call submit_job(tenant, spec) — admission is always
+// evaluated at engine.now(), and an admitted job's submit_time becomes that
+// instant.  Queued jobs are re-considered (strictly FIFO per tenant) every
+// time the tenant's in-flight demand shrinks or its shares grow: job
+// completion, resize, transfer.  Because a queued head always fits within
+// the tenant's maximum share (enforced at submission and at every resize),
+// a non-empty queue implies in-flight work, so every queued job is admitted
+// by quiescence — drain() never strands admitted-but-queued work.
+//
+// The manager is an EngineObserver (the same passive seam metrics and audit
+// use) and keeps an append-only admission/completion log; the tenant-aware
+// invariants in audit/tenant_audit.h replay that log to prove share
+// conservation and FIFO-monotone admission after a run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ssr/common/ids.h"
+#include "ssr/common/time.h"
+#include "ssr/dag/job.h"
+#include "ssr/sched/engine.h"
+#include "ssr/sched/types.h"
+
+namespace ssr {
+
+/// Declarative share bounds for one tenant's virtual cluster.
+struct VirtualClusterSpec {
+  std::string name;
+
+  /// Guaranteed share: slots this tenant can always fill regardless of the
+  /// other tenants' declared minima (sum over tenants must fit the physical
+  /// cluster).  Admission itself only bounds against max_slots; the minimum
+  /// is the conserved quantity resize/transfer move between tenants.
+  std::uint32_t min_slots = 0;
+
+  /// Elastic ceiling on the tenant's aggregate in-flight slot demand.
+  std::uint32_t max_slots = 0;
+
+  /// Over-quota submissions wait in the tenant's FIFO queue (true) or are
+  /// rejected outright (false).
+  bool queue_when_full = true;
+};
+
+/// What admission control decided for one submission.
+enum class AdmissionOutcome {
+  Admitted,  ///< entered the engine at engine.now()
+  Queued,    ///< waiting in the tenant's FIFO queue
+  Rejected,  ///< dropped: over quota with queueing off, or can never fit
+};
+
+/// Per-tenant isolation/SLO accounting, maintained incrementally.
+struct TenantStats {
+  std::uint64_t submitted = 0;  ///< submit_job calls for this tenant
+  std::uint64_t admitted = 0;   ///< entered the engine (direct or via queue)
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  /// Submissions that spent time in the queue before admission.
+  std::uint64_t queued_total = 0;
+
+  /// Jobs admitted and not yet finished.
+  std::uint32_t jobs_in_flight = 0;
+  /// Aggregate peak slot demand of in-flight jobs (the admitted quantity
+  /// the max share bounds).
+  std::uint32_t demand_in_flight = 0;
+  std::uint32_t peak_demand_in_flight = 0;
+
+  /// Queue-delay SLO signal: admission instant minus submission instant,
+  /// summed/maxed over admitted-from-queue jobs (directly admitted jobs
+  /// contribute zero).
+  double total_queue_delay = 0.0;
+  double max_queue_delay = 0.0;
+  /// Sum of engine JCTs (finish - submit, excluding queue delay) over
+  /// completed jobs.
+  double total_jct = 0.0;
+
+  double mean_queue_delay() const {
+    return admitted == 0 ? 0.0 : total_queue_delay / admitted;
+  }
+  double mean_jct() const {
+    return completed == 0 ? 0.0 : total_jct / completed;
+  }
+};
+
+/// Append-only record of one admission, for the tenant audit.
+struct AdmissionRecord {
+  std::string tenant;
+  JobId job;
+  std::uint32_t demand = 0;       ///< peak slot demand charged to the share
+  SimTime requested_at = 0.0;     ///< submit_job instant
+  SimTime admitted_at = 0.0;      ///< engine submit instant
+  bool from_queue = false;
+  std::uint32_t in_flight_after = 0;  ///< tenant demand including this job
+  std::uint32_t max_at_admit = 0;     ///< tenant max share at admission
+};
+
+/// Append-only record of one completion, for the tenant audit.
+struct CompletionRecord {
+  std::string tenant;
+  JobId job;
+  std::uint32_t demand = 0;
+  SimTime finished_at = 0.0;
+};
+
+class VirtualClusterManager : public EngineObserver {
+ public:
+  /// Registers itself as an observer; the engine must outlive the manager's
+  /// last callback (i.e. the manager must outlive the run).
+  explicit VirtualClusterManager(Engine& engine);
+
+  VirtualClusterManager(const VirtualClusterManager&) = delete;
+  VirtualClusterManager& operator=(const VirtualClusterManager&) = delete;
+
+  /// Create a tenant.  Shares are validated eagerly: max >= max(min, 1) and
+  /// the guaranteed minima of all tenants must fit the physical cluster.
+  void add_cluster(VirtualClusterSpec spec);
+
+  /// Elastic resize of one tenant's shares.  Shrinking below the tenant's
+  /// current in-flight demand is allowed (running jobs are never revoked;
+  /// new admissions wait), but the new maximum must still cover every queued
+  /// job's demand so the FIFO head can always eventually run.
+  void resize(const std::string& tenant, std::uint32_t new_min,
+              std::uint32_t new_max);
+
+  /// Move `slots` of both guaranteed and elastic share from one tenant to
+  /// another; total min/max over tenants is conserved exactly.
+  void transfer(const std::string& from, const std::string& to,
+                std::uint32_t slots);
+
+  /// Admission control at engine.now(): admit (submit_time := now), queue,
+  /// or reject `spec` against the tenant's elastic share.  A job whose peak
+  /// demand exceeds the tenant's maximum share can never fit and is always
+  /// rejected, even with queueing on.
+  AdmissionOutcome submit_job(const std::string& tenant, JobSpec spec);
+
+  /// Peak slot demand a job charges against its tenant's share: the widest
+  /// stage, clamped to the physical cluster (a 500-task stage on 20 slots
+  /// occupies at most 20 at once).
+  std::uint32_t slot_demand(const JobSpec& spec) const;
+
+  // --- Introspection --------------------------------------------------------
+
+  std::vector<std::string> tenant_names() const;  ///< insertion order
+  const VirtualClusterSpec& spec(const std::string& tenant) const;
+  const TenantStats& stats(const std::string& tenant) const;
+  std::uint32_t queued_jobs(const std::string& tenant) const;
+  bool all_queues_empty() const;
+  /// Owning tenant of an admitted job; nullptr for jobs submitted around the
+  /// manager (mixed-mode runs are legal — such jobs are simply unmetered).
+  const std::string* tenant_of(JobId job) const;
+
+  const std::vector<AdmissionRecord>& admission_log() const {
+    return admission_log_;
+  }
+  const std::vector<CompletionRecord>& completion_log() const {
+    return completion_log_;
+  }
+
+  // --- EngineObserver -------------------------------------------------------
+
+  /// Releases the finished job's demand and pumps its tenant's queue.
+  void on_job_finished(const Engine&, JobId job) override;
+  /// Closes the books: every queue must have drained (liveness; see the
+  /// file comment) — throws CheckError otherwise.
+  void on_run_complete(const Engine&) override;
+
+ private:
+  struct QueuedJob {
+    JobSpec spec;
+    SimTime requested_at = 0.0;
+  };
+
+  struct Tenant {
+    VirtualClusterSpec spec;
+    TenantStats stats;
+    std::deque<QueuedJob> queue;
+  };
+
+  Tenant& tenant(const std::string& name);
+  const Tenant& tenant(const std::string& name) const;
+
+  /// Does `demand` fit the tenant's elastic share right now?
+  static bool fits(const Tenant& t, std::uint32_t demand) {
+    return t.stats.demand_in_flight + demand <= t.spec.max_slots;
+  }
+
+  /// Enter one job into the engine and charge its demand to the tenant.
+  void admit(Tenant& t, JobSpec spec, SimTime requested_at, bool from_queue);
+
+  /// Admit from the queue head while it fits (strict FIFO: never skips a
+  /// blocked head, so admission order within a tenant is submission order).
+  void pump(Tenant& t);
+
+  /// Σ min_slots over tenants must fit the physical cluster.
+  void check_share_conservation() const;
+
+  Engine& engine_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;  ///< insertion order
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+  std::unordered_map<std::uint32_t, std::uint32_t> job_tenant_;  ///< JobId.v
+  std::vector<AdmissionRecord> admission_log_;
+  std::vector<CompletionRecord> completion_log_;
+};
+
+}  // namespace ssr

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -48,9 +49,25 @@ class UniqueCallback {
   std::unique_ptr<Concept> impl_;
 };
 
+/// Deterministic tie-break class for events scheduled at the same instant.
+/// Bands exist so the *open-system* stepping API can reproduce the closed
+/// batch setup bit for bit: in a closed run every failure-schedule event is
+/// pushed before every job arrival, and every arrival before any event the
+/// simulation itself generates, so at equal timestamps the insertion-order
+/// tie-break fires them in exactly this class order.  An open run pushes
+/// arrivals incrementally (so their raw sequence numbers interleave with
+/// internal events), and the band restores the closed ordering regardless of
+/// push order.  Within a band, insertion order still decides.
+enum class EventBand : std::uint8_t {
+  kFailure = 0,   ///< fault-injection schedule events
+  kArrival = 1,   ///< job arrival / admission events
+  kInternal = 2,  ///< everything the simulation schedules while running
+};
+
 /// Time-ordered queue of callbacks.  Events at the same instant fire in
-/// insertion order (a monotone sequence number breaks ties), which makes runs
-/// deterministic regardless of floating-point coincidences.
+/// (band, insertion order): a monotone sequence number breaks ties within a
+/// band, which makes runs deterministic regardless of floating-point
+/// coincidences.
 ///
 /// The storage is a binary heap over a flat vector rather than a
 /// std::priority_queue: priority_queue::top() is const&, so extracting an
@@ -61,7 +78,8 @@ class EventQueue {
  public:
   using Callback = UniqueCallback;
 
-  void push(SimTime at, Callback fn);
+  void push(SimTime at, Callback fn);  ///< kInternal band
+  void push(SimTime at, EventBand band, Callback fn);
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
@@ -69,18 +87,33 @@ class EventQueue {
   /// Time of the earliest pending event; kTimeInfinity when empty.
   SimTime next_time() const;
 
+  /// Alias of next_time() under the name the bounded-advance contract uses:
+  /// peek before popping, so an advance-to-horizon loop can stop *without*
+  /// removing an event past the horizon (popping and re-pushing would move
+  /// the event to the back of its same-instant band and reorder ties).
+  SimTime peek_time() const { return next_time(); }
+
   /// Removes and returns the earliest event.  Precondition: !empty().
   std::pair<SimTime, Callback> pop();
+
+  /// Bounded advance: removes and returns the earliest event only if its
+  /// time is <= horizon; nullopt otherwise (the queue is untouched, so
+  /// events strictly past the horizon can never be over-stepped).  Events
+  /// tied exactly at the horizon are all eligible, in band/insertion order.
+  std::optional<std::pair<SimTime, Callback>> pop_if_at_or_before(
+      SimTime horizon);
 
  private:
   struct Event {
     SimTime at;
+    EventBand band;
     std::uint64_t seq;
     Callback fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at > b.at;
+      if (a.band != b.band) return a.band > b.band;
       return a.seq > b.seq;
     }
   };

@@ -21,17 +21,25 @@ void FailureInjector::attach(Simulator& sim, FailureSink& sink) {
     // Capture by value: the schedule may be copied or destroyed after
     // attach(); only the sink reference must stay alive.
     FailureSink* s = &sink;
+    // The kFailure band keeps same-instant ordering identical whether the
+    // schedule is attached before any job is submitted (the closed harness)
+    // or while arrivals stream in (the open stepping API): failures always
+    // precede arrivals and internal events tied at the same timestamp.
     if (e.scope == FailureEvent::Scope::Node) {
       const NodeId node{e.id};
-      sim.schedule_at(e.fail_at, [s, node] { s->fail_node(node); });
+      sim.schedule_at(e.fail_at, EventBand::kFailure,
+                      [s, node] { s->fail_node(node); });
       if (e.recover_at < kTimeInfinity) {
-        sim.schedule_at(e.recover_at, [s, node] { s->recover_node(node); });
+        sim.schedule_at(e.recover_at, EventBand::kFailure,
+                        [s, node] { s->recover_node(node); });
       }
     } else {
       const SlotId slot{e.id};
-      sim.schedule_at(e.fail_at, [s, slot] { s->fail_slot(slot); });
+      sim.schedule_at(e.fail_at, EventBand::kFailure,
+                      [s, slot] { s->fail_slot(slot); });
       if (e.recover_at < kTimeInfinity) {
-        sim.schedule_at(e.recover_at, [s, slot] { s->recover_slot(slot); });
+        sim.schedule_at(e.recover_at, EventBand::kFailure,
+                        [s, slot] { s->recover_slot(slot); });
       }
     }
   }

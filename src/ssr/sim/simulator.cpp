@@ -7,8 +7,12 @@
 namespace ssr {
 
 void Simulator::schedule_at(SimTime at, Callback fn) {
+  schedule_at(at, EventBand::kInternal, std::move(fn));
+}
+
+void Simulator::schedule_at(SimTime at, EventBand band, Callback fn) {
   SSR_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
-  queue_.push(at, std::move(fn));
+  queue_.push(at, band, std::move(fn));
 }
 
 void Simulator::schedule_after(SimDuration delay, Callback fn) {
@@ -25,6 +29,15 @@ bool Simulator::step() {
   return true;
 }
 
+bool Simulator::step_until(SimTime horizon) {
+  auto ev = queue_.pop_if_at_or_before(horizon);
+  if (!ev) return false;
+  now_ = ev->first;
+  ++processed_;
+  ev->second();
+  return true;
+}
+
 void Simulator::run(std::size_t max_events) {
   while (step()) {
     if (max_events != 0 && processed_ >= max_events) {
@@ -35,8 +48,8 @@ void Simulator::run(std::size_t max_events) {
 }
 
 void Simulator::run_until(SimTime horizon) {
-  while (!queue_.empty() && queue_.next_time() <= horizon) {
-    step();
+  SSR_CHECK_MSG(horizon >= now_, "cannot advance the clock into the past");
+  while (step_until(horizon)) {
   }
   if (now_ < horizon) now_ = horizon;
 }

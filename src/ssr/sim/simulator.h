@@ -21,7 +21,11 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedule `fn` at absolute time `at`; `at` must not be in the past.
+  /// The band decides same-instant ordering (see EventBand); external inputs
+  /// (arrivals, failure schedules) use their own bands so the open-system
+  /// stepping API reproduces closed-batch tie-breaking exactly.
   void schedule_at(SimTime at, Callback fn);
+  void schedule_at(SimTime at, EventBand band, Callback fn);
 
   /// Schedule `fn` after `delay` (>= 0) simulated seconds.
   void schedule_after(SimDuration delay, Callback fn);
@@ -29,13 +33,24 @@ class Simulator {
   /// Run one event.  Returns false when the queue is empty.
   bool step();
 
+  /// Bounded single step: run the earliest event only if its time is
+  /// <= horizon; returns false (and pops nothing, so no event past the
+  /// horizon can be over-stepped) otherwise.  Events tied exactly at the
+  /// horizon — e.g. an injected failure and a stage completion at the same
+  /// boundary instant — all fire, in band/insertion order.
+  bool step_until(SimTime horizon);
+
   /// Run until the queue drains.  `max_events` guards against runaway
   /// feedback loops in buggy policies (0 = unlimited).
   void run(std::size_t max_events = 0);
 
-  /// Run events with time <= horizon; afterwards now() == horizon if any
-  /// events remained, or the last event time otherwise.
+  /// Run events with time <= horizon; afterwards now() == horizon exactly
+  /// (simulated time passes even when no events fired — the open-system
+  /// notion of "now").  `horizon` must not be in the past.
   void run_until(SimTime horizon);
+
+  /// Time of the earliest pending event; kTimeInfinity when idle.
+  SimTime next_event_time() const { return queue_.peek_time(); }
 
   std::size_t processed_events() const { return processed_; }
   std::size_t pending_events() const { return queue_.size(); }

@@ -1,0 +1,81 @@
+#include "ssr/workload/open_arrival.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ssr/common/check.h"
+#include "ssr/common/rng.h"
+#include "ssr/workload/mlbench.h"
+#include "ssr/workload/sqlbench.h"
+
+namespace ssr {
+
+namespace {
+
+JobSpec make_template(Rng& rng, const OpenTenantProfile& profile,
+                      std::uint32_t parallelism, SimTime at) {
+  // Rotate through the four job families at random; the draw happens before
+  // the switch so every family consumes the same number of random values.
+  const auto kind = rng.uniform_int(0, 3);
+  switch (kind) {
+    case 0:
+      return make_kmeans(parallelism, profile.priority, at);
+    case 1:
+      return make_svm(parallelism, profile.priority, at);
+    case 2:
+      return make_pagerank(parallelism, profile.priority, at);
+    default: {
+      SqlJobParams p;
+      p.query_index = static_cast<std::uint32_t>(rng.uniform_int(0, 19));
+      p.base_parallelism = parallelism;
+      p.priority = profile.priority;
+      p.submit_time = at;
+      return make_sql_query(p);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<OpenArrival> make_open_arrivals(
+    const std::vector<OpenTenantProfile>& profiles, std::uint64_t seed) {
+  Rng root(seed);
+  std::vector<OpenArrival> merged;
+  for (std::uint32_t ti = 0; ti < profiles.size(); ++ti) {
+    const OpenTenantProfile& profile = profiles[ti];
+    SSR_CHECK_MSG(!profile.tenant.empty(), "tenant needs a name");
+    SSR_CHECK_MSG(profile.mean_interarrival > 0.0,
+                  "tenant " << profile.tenant
+                            << ": mean inter-arrival must be positive");
+    SSR_CHECK_MSG(profile.min_parallelism >= 1 &&
+                      profile.max_parallelism >= profile.min_parallelism,
+                  "tenant " << profile.tenant
+                            << ": parallelism range must be ordered and >= 1");
+    // fork() keys on the fork counter, so tenant streams are independent of
+    // each other's draw counts — see the file comment.
+    Rng rng = root.fork();
+    SimTime t = profile.start;
+    for (std::uint32_t i = 0; i < profile.num_jobs; ++i) {
+      t += rng.exponential_mean(profile.mean_interarrival);
+      const auto parallelism = static_cast<std::uint32_t>(rng.uniform_int(
+          profile.min_parallelism, profile.max_parallelism));
+      OpenArrival arrival;
+      arrival.tenant = profile.tenant;
+      arrival.at = t;
+      arrival.spec = make_template(rng, profile, parallelism, t);
+      std::ostringstream name;
+      name << profile.tenant << "-" << arrival.spec.name << "-" << i;
+      arrival.spec.name = name.str();
+      merged.push_back(std::move(arrival));
+    }
+  }
+  // Stable sort on time only: streams were appended in (tenant, sequence)
+  // order, so equal-time arrivals keep that order — one canonical stream.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const OpenArrival& a, const OpenArrival& b) {
+                     return a.at < b.at;
+                   });
+  return merged;
+}
+
+}  // namespace ssr

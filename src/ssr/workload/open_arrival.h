@@ -1,0 +1,56 @@
+// Open-system arrival process: seeded Poisson job traffic over the existing
+// job templates.
+//
+// The closed harness submits a fixed batch and runs to completion; an open
+// system receives jobs continuously while it executes.  This generator
+// synthesizes that traffic: per tenant, a Poisson arrival process
+// (exponential inter-arrival gaps) over a mix of the repo's job templates —
+// the SparkBench ML chains (mlbench.h) and the TPC-DS-like SQL DAGs
+// (sqlbench.h) — with parallelism drawn per job from the tenant's range.
+//
+// Determinism: each tenant's stream comes from its own forked Rng, derived
+// from (seed, tenant index), so adding a tenant or changing one tenant's
+// parameters never perturbs another tenant's arrivals.  The merged schedule
+// is sorted by arrival time with ties broken by tenant order, then by
+// per-tenant sequence — a total order, so downstream consumers (the
+// open-system driver and the open-vs-closed equivalence suite) see one
+// canonical stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ssr/common/time.h"
+#include "ssr/dag/job.h"
+
+namespace ssr {
+
+/// One tenant's arrival process.
+struct OpenTenantProfile {
+  std::string tenant = "default";
+  /// Mean exponential gap between consecutive arrivals (sim seconds).
+  double mean_interarrival = 10.0;
+  std::uint32_t num_jobs = 50;
+  /// Per-job parallelism is uniform in [min_parallelism, max_parallelism].
+  std::uint32_t min_parallelism = 4;
+  std::uint32_t max_parallelism = 20;
+  int priority = 0;
+  /// First gap is drawn from `start` (arrivals never land exactly at 0, so
+  /// admission always happens strictly inside the run).
+  SimTime start = 0.0;
+};
+
+/// One arrival of the merged open workload.
+struct OpenArrival {
+  std::string tenant;
+  SimTime at = 0.0;  ///< equals spec.submit_time as generated
+  JobSpec spec;
+};
+
+/// Generate and merge every tenant's stream.  Deterministic in
+/// (profiles, seed); see the file comment for the tie-break order.
+std::vector<OpenArrival> make_open_arrivals(
+    const std::vector<OpenTenantProfile>& profiles, std::uint64_t seed);
+
+}  // namespace ssr

@@ -17,19 +17,25 @@
 // The schedules mix transient and permanent node failures; the generator
 // never makes node 0 permanent, so a kernel of capacity always survives and
 // liveness is well-defined.
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "ssr/audit/invariant_auditor.h"
+#include "ssr/audit/tenant_audit.h"
+#include "ssr/audit/violation.h"
 #include "ssr/core/naive_policies.h"
 #include "ssr/core/reservation_manager.h"
 #include "ssr/metrics/collectors.h"
 #include "ssr/sched/engine.h"
+#include "ssr/sched/virtual_cluster.h"
 #include "ssr/sim/failure_injector.h"
 #include "ssr/workload/mlbench.h"
+#include "ssr/workload/open_arrival.h"
 #include "ssr/workload/tracegen.h"
 
 namespace ssr {
@@ -187,6 +193,174 @@ TEST(Chaos, EveryJobCompletesAndAuditStaysCleanOn200FailureScenarios) {
   EXPECT_GT(totals.tasks_failed, 50u);
   EXPECT_GT(totals.tasks_requeued, 50u);
   EXPECT_GT(totals.stages_invalidated, 0u);
+}
+
+// --- Open-arrival x failure-schedule leg ------------------------------------
+//
+// The closed-batch sweep above drives Engine::run(); this leg drives the
+// stepping API the way a long-lived service does — advance to each arrival
+// instant, push the job through virtual-cluster admission control, and only
+// then drain — while the same seeded node-failure schedules play out
+// underneath.  The properties are the closed sweep's plus the admission
+// layer's: every *admitted* job completes, no queue strands work at
+// quiescence, and the tenant audit stays clean next to the slot-level one.
+
+struct OpenChaosParams {
+  std::uint32_t nodes;
+  std::uint32_t slots_per_node;
+  SimDuration locality_wait;
+  HookKind hook;
+  RandomFailureConfig failures;
+  std::vector<VirtualClusterSpec> tenants;
+  std::vector<OpenTenantProfile> profiles;
+  std::uint64_t engine_seed;
+  std::uint64_t arrival_seed;
+};
+
+OpenChaosParams derive_open_params(std::uint64_t trial) {
+  std::uint64_t s = 0x09e2a55c4a05ull ^ (trial * 0x6b5ull);
+  OpenChaosParams p;
+  p.nodes = 3 + static_cast<std::uint32_t>(splitmix64(s) % 6);
+  p.slots_per_node = 1 + static_cast<std::uint32_t>(splitmix64(s) % 2);
+  const std::uint32_t total = p.nodes * p.slots_per_node;
+  const double waits[] = {0.0, 1.0, 3.0};
+  p.locality_wait = waits[splitmix64(s) % 3];
+  p.hook = static_cast<HookKind>(splitmix64(s) %
+                                 static_cast<std::uint64_t>(HookKind::kCount));
+
+  const std::uint32_t num_tenants = 2 + static_cast<std::uint32_t>(splitmix64(s) % 2);
+  double expected_span = 0.0;
+  for (std::uint32_t ti = 0; ti < num_tenants; ++ti) {
+    VirtualClusterSpec vc;
+    vc.name = "t" + std::to_string(ti);
+    // Minima stay small so any tenant count fits any cluster; maxima range
+    // from tight (forcing queue/reject traffic) to the full cluster.
+    vc.min_slots = static_cast<std::uint32_t>(splitmix64(s) % 2);
+    vc.max_slots = 2 + static_cast<std::uint32_t>(splitmix64(s) % total);
+    vc.queue_when_full = (splitmix64(s) % 4) != 0;
+    p.tenants.push_back(vc);
+
+    OpenTenantProfile prof;
+    prof.tenant = "t" + std::to_string(ti);
+    prof.mean_interarrival = 8.0 + static_cast<double>(splitmix64(s) % 4) * 6.0;
+    prof.num_jobs = 4 + static_cast<std::uint32_t>(splitmix64(s) % 5);
+    prof.min_parallelism = 2;
+    prof.max_parallelism = 2 + static_cast<std::uint32_t>(splitmix64(s) % 5);
+    prof.priority = static_cast<int>(splitmix64(s) % 3) * 5;
+    p.profiles.push_back(prof);
+    expected_span = std::max(
+        expected_span, prof.mean_interarrival * static_cast<double>(prof.num_jobs));
+  }
+
+  p.failures.num_nodes = p.nodes;
+  p.failures.horizon = expected_span * 1.5;
+  p.failures.failures = 1 + static_cast<std::uint32_t>(splitmix64(s) % 4);
+  p.failures.min_downtime = 2.0;
+  p.failures.max_downtime = 25.0;
+  p.failures.permanent_fraction =
+      static_cast<double>(splitmix64(s) % 3) * 0.15;
+  p.failures.seed = 0x0fa11 + trial * 3;
+  p.engine_seed = 0x10001 + trial;
+  p.arrival_seed = 0x20002 + trial * 7;
+  return p;
+}
+
+struct OpenTrialOutcome {
+  RecoveryStats recovery;
+  std::uint64_t events_audited = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t rejected = 0;
+};
+
+OpenTrialOutcome run_open_chaos_trial(const OpenChaosParams& p) {
+  SchedConfig cfg;
+  cfg.locality_wait = p.locality_wait;
+  Engine engine(cfg, p.nodes, p.slots_per_node, p.engine_seed);
+  engine.set_reservation_hook(make_hook(p.hook));
+
+  RecoveryStatsCollector recovery;
+  engine.add_observer(&recovery);
+  audit::InvariantAuditor auditor;  // throw_on_violation = true
+  auditor.attach(engine);
+
+  FailureInjector injector(make_random_node_failures(p.failures));
+  injector.attach(engine.sim(), engine);
+
+  VirtualClusterManager vcm(engine);
+  for (const VirtualClusterSpec& vc : p.tenants) vcm.add_cluster(vc);
+
+  for (OpenArrival& a : make_open_arrivals(p.profiles, p.arrival_seed)) {
+    engine.advance_to(a.at);
+    vcm.submit_job(a.tenant, std::move(a.spec));
+  }
+  engine.drain();  // throws if anything wedges, strands a queue, or trips audit
+
+  // Every *admitted* job completed; rejected submissions never entered.
+  for (const AdmissionRecord& a : vcm.admission_log()) {
+    EXPECT_TRUE(engine.job_finished(a.job))
+        << a.tenant << " job " << a.job << " admitted but never finished";
+  }
+  EXPECT_TRUE(vcm.all_queues_empty());
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+  const auto tenant_violations =
+      audit::audit_virtual_clusters(vcm, p.nodes * p.slots_per_node);
+  EXPECT_TRUE(tenant_violations.empty())
+      << audit::format_report(tenant_violations);
+
+  OpenTrialOutcome out;
+  out.recovery = recovery.stats();
+  out.events_audited = auditor.events_audited();
+  for (const std::string& t : vcm.tenant_names()) {
+    const TenantStats& s = vcm.stats(t);
+    EXPECT_EQ(s.admitted, s.completed) << t;
+    out.admitted += s.admitted;
+    out.queued += s.queued_total;
+    out.rejected += s.rejected;
+  }
+  return out;
+}
+
+TEST(Chaos, OpenArrivalRunsSurvive100FailureScenarios) {
+  constexpr std::uint64_t kTrials = 100;
+  RecoveryStats totals;
+  std::uint64_t admitted = 0, queued = 0, rejected = 0;
+  for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+    const OpenChaosParams p = derive_open_params(trial);
+    SCOPED_TRACE("open trial " + std::to_string(trial) + " (hook kind " +
+                 std::to_string(static_cast<int>(p.hook)) + ")");
+    const OpenTrialOutcome outcome = run_open_chaos_trial(p);
+    ASSERT_GT(outcome.events_audited, 0u);
+    totals.slots_failed += outcome.recovery.slots_failed;
+    totals.slots_recovered += outcome.recovery.slots_recovered;
+    totals.tasks_failed += outcome.recovery.tasks_failed;
+    totals.tasks_requeued += outcome.recovery.tasks_requeued;
+    totals.stages_invalidated += outcome.recovery.stages_invalidated;
+    admitted += outcome.admitted;
+    queued += outcome.queued;
+    rejected += outcome.rejected;
+  }
+  // The sweep must hit the paths it claims to: real failures landing on busy
+  // slots, and admission traffic through all three outcomes.
+  EXPECT_GT(totals.slots_failed, 50u);
+  EXPECT_GT(totals.tasks_failed, 25u);
+  EXPECT_GT(totals.tasks_requeued, 25u);
+  EXPECT_GT(admitted, 500u);
+  EXPECT_GT(queued, 50u);
+  EXPECT_GT(rejected, 50u);
+}
+
+TEST(Chaos, OpenArrivalFailureRunsAreDeterministic) {
+  const OpenChaosParams p = derive_open_params(42);
+  const OpenTrialOutcome a = run_open_chaos_trial(p);
+  const OpenTrialOutcome b = run_open_chaos_trial(p);
+  EXPECT_EQ(a.events_audited, b.events_audited);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.queued, b.queued);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.recovery.slots_failed, b.recovery.slots_failed);
+  EXPECT_EQ(a.recovery.tasks_failed, b.recovery.tasks_failed);
+  EXPECT_EQ(a.recovery.tasks_requeued, b.recovery.tasks_requeued);
 }
 
 // Determinism under failure: the same trial parameters reproduce the same

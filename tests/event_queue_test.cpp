@@ -99,5 +99,76 @@ TEST(EventQueue, RejectsEmptyCallbackAndEmptyPop) {
   EXPECT_THROW(q.pop(), CheckError);
 }
 
+TEST(EventQueue, BandsOrderSameInstantEvents) {
+  // At one timestamp, failures precede arrivals precede internal events —
+  // regardless of push order.  This is the tie-break the open-vs-closed
+  // equivalence rests on: a closed harness pushes failure schedules first
+  // and all arrivals before any internal event, so seq order coincides with
+  // band order there; open-mode submission reproduces it via bands alone.
+  EventQueue q;
+  std::vector<int> order;
+  q.push(5.0, EventBand::kInternal, [&] { order.push_back(2); });
+  q.push(5.0, EventBand::kArrival, [&] { order.push_back(1); });
+  q.push(5.0, EventBand::kFailure, [&] { order.push_back(0); });
+  q.push(5.0, EventBand::kInternal, [&] { order.push_back(3); });
+  q.push(5.0, EventBand::kArrival, [&] { order.push_back(11); });
+  q.push(5.0, EventBand::kFailure, [&] { order.push_back(10); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 10, 1, 11, 2, 3}));
+}
+
+TEST(EventQueue, BandsLoseToTime) {
+  // Bands only break exact-time ties; an earlier internal event still beats
+  // a later failure.
+  EventQueue q;
+  std::vector<int> order;
+  q.push(2.0, EventBand::kFailure, [&] { order.push_back(2); });
+  q.push(1.0, EventBand::kInternal, [&] { order.push_back(1); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, PopIfAtOrBeforeIsBounded) {
+  // The bounded-advance primitive must pop events at or before the horizon
+  // — boundary inclusive — and must not pop (not even inspect-and-drop)
+  // anything strictly past it.
+  EventQueue q;
+  std::vector<int> order;
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  q.push(3.0, [&] { order.push_back(3); });
+
+  auto ev = q.pop_if_at_or_before(2.0);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_DOUBLE_EQ(ev->first, 1.0);
+  ev->second();
+
+  ev = q.pop_if_at_or_before(2.0);  // exactly at the horizon: fires
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_DOUBLE_EQ(ev->first, 2.0);
+  ev->second();
+
+  ev = q.pop_if_at_or_before(2.0);  // 3.0 is past the horizon: stays queued
+  EXPECT_FALSE(ev.has_value());
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.peek_time(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, BoundedAdvanceRespectsBandsOnHorizonTie) {
+  // The satellite case: an injected failure and a stage completion tied at
+  // the advance horizon.  advance_to(t) must fire both (boundary is
+  // inclusive) with the failure first, and must not over-step past t.
+  EventQueue q;
+  std::vector<int> order;
+  q.push(7.0, EventBand::kInternal, [&] { order.push_back(2); });  // completion
+  q.push(7.0, EventBand::kFailure, [&] { order.push_back(1); });  // failure
+  q.push(7.0 + 1e-9, EventBand::kFailure, [&] { order.push_back(3); });
+
+  while (auto ev = q.pop_if_at_or_before(7.0)) ev->second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // failure won the tie
+  EXPECT_EQ(q.size(), 1u);  // the epsilon-later failure was not over-stepped
+}
+
 }  // namespace
 }  // namespace ssr

@@ -9,201 +9,64 @@
 // numbers, so the suite locks the hot-path index rewrite to the behaviour
 // of the original full-scan scheduler.
 //
+// The scenario inputs live in golden_scenarios.h, shared with the
+// open-vs-closed equivalence suite (open_system_test), which must reproduce
+// these exact digests through the stepping API.
+//
 // Regenerate after an *intentional* behaviour change with:
 //   SSR_UPDATE_GOLDEN=1 ./tests/golden_replay_test
 // and review the digest diff like any other code change.
-#include <cstdlib>
-#include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "golden_scenarios.h"
+#include "run_digest.h"
 #include "ssr/exp/scenario.h"
-#include "ssr/workload/mlbench.h"
-#include "ssr/workload/sqlbench.h"
-#include "ssr/workload/tracegen.h"
 
 namespace ssr {
 namespace {
 
-// One run's contribution to a digest.  Hexfloat round-trips doubles exactly,
-// so a digest match implies bit-identical metrics, not just close ones.
-void append_run(std::ostringstream& out, const std::string& title,
-                const RunResult& run) {
-  out << std::hexfloat;
-  out << "run " << title << " jobs=" << run.jobs.size() << '\n';
-  for (const JobResult& j : run.jobs) {
-    out << "  job " << j.id << ' ' << j.name << " priority=" << j.priority
-        << " jct=" << j.jct << " busy=" << j.busy_seconds
-        << " reserved_idle=" << j.reserved_idle_seconds << '\n';
+/// Run every pass of a scenario through the closed harness and return the
+/// digest plus the per-pass results (for scenario-specific assertions).
+std::string closed_digest(GoldenScenario scenario,
+                          std::vector<RunResult>* results = nullptr) {
+  std::ostringstream digest;
+  for (GoldenPass& pass : scenario.passes) {
+    RunResult run =
+        run_scenario(scenario.cluster, std::move(pass.jobs), pass.options);
+    append_run(digest, pass.title, run);
+    if (results != nullptr) results->push_back(std::move(run));
   }
-  out << "  makespan " << run.makespan << '\n';
-  out << "  busy_time " << run.busy_time << '\n';
-  out << "  reserved_idle_time " << run.reserved_idle_time << '\n';
-  out << "  tasks started=" << run.task_totals.tasks_started
-      << " finished=" << run.task_totals.tasks_finished
-      << " killed=" << run.task_totals.tasks_killed
-      << " copies=" << run.task_totals.copies_started
-      << " local=" << run.task_totals.local_starts << '\n';
-  out << "  reservations_expired " << run.reservations_expired << '\n';
-  // Failure-free digests (fig12/fig14/fig15) stay byte-identical: the
-  // recovery block only appears once a run actually saw an injected fault.
-  if (run.recovery.slots_failed > 0 || run.dead_time > 0.0) {
-    out << "  recovery slots_failed=" << run.recovery.slots_failed
-        << " slots_recovered=" << run.recovery.slots_recovered
-        << " tasks_failed=" << run.recovery.tasks_failed
-        << " tasks_requeued=" << run.recovery.tasks_requeued
-        << " failures_masked=" << run.recovery.failures_masked
-        << " stages_invalidated=" << run.recovery.stages_invalidated
-        << " reservations_broken=" << run.recovery.reservations_broken
-        << '\n';
-    out << "  dead_time " << run.dead_time << '\n';
-  }
-  // The run completed without a CheckError; in -DSSR_AUDIT=ON builds this
-  // line also certifies the invariant auditor saw no violation.
-  out << "  audit_clean 1\n";
+  return digest.str();
 }
 
-void compare_golden(const std::string& file, const std::string& actual) {
-  const std::string path = std::string(SSR_GOLDEN_DIR) + "/" + file;
-  if (std::getenv("SSR_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(path, std::ios::binary);
-    ASSERT_TRUE(out.good()) << "cannot write " << path;
-    out << actual;
-    GTEST_SKIP() << "regenerated " << path;
-  }
-  std::ifstream in(path, std::ios::binary);
-  ASSERT_TRUE(in.good())
-      << "missing golden file " << path
-      << " — regenerate with SSR_UPDATE_GOLDEN=1 ./tests/golden_replay_test";
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  EXPECT_EQ(buf.str(), actual)
-      << "metric digest diverged from " << path
-      << "; if the behaviour change is intentional, regenerate with "
-         "SSR_UPDATE_GOLDEN=1 and review the diff";
-}
-
-// Fig. 12 shape: 50x2 cluster, trace background, one high-priority KMeans
-// foreground; contrasted with and without strict SSR.
 TEST(GoldenReplay, Fig12ShapedIsolation) {
-  const ClusterSpec cluster{.nodes = 50, .slots_per_node = 2};
-  TraceGenConfig bg;
-  bg.num_jobs = 12;
-  bg.window = 450.0;
-  bg.seed = 1001;
-
-  RunOptions base;
-  base.seed = 1;
-  RunOptions with_ssr = base;
-  with_ssr.ssr = SsrConfig{};
-  with_ssr.ssr->min_reserving_priority = 1;
-
-  std::vector<JobSpec> jobs = make_background_jobs(bg);
-  jobs.push_back(make_kmeans(20, 10, bg.window * 0.25));
-
-  std::ostringstream digest;
-  append_run(digest, "fig12/nossr", run_scenario(cluster, jobs, base));
-  append_run(digest, "fig12/ssr",
-             run_scenario(cluster, std::move(jobs), with_ssr));
-  compare_golden("fig12.golden", digest.str());
+  const GoldenScenario s = fig12_scenario();
+  compare_golden(s.file, closed_digest(s));
 }
 
-// Fig. 14 shape: the isolation-utilization knob.  P < 1 arms reservation
-// deadlines, so this digest also pins the expiry machinery.
 TEST(GoldenReplay, Fig14ShapedTradeoff) {
-  const ClusterSpec cluster{.nodes = 50, .slots_per_node = 2};
-  TraceGenConfig bg;
-  bg.num_jobs = 12;
-  bg.window = 450.0;
-  bg.seed = 2001;
-
-  std::ostringstream digest;
-  for (const double p : {1.0, 0.4, 0.05}) {
-    RunOptions o;
-    o.seed = 1;
-    o.ssr = SsrConfig{};
-    o.ssr->min_reserving_priority = 1;
-    o.ssr->isolation_p = p;
-    std::vector<JobSpec> jobs = make_background_jobs(bg);
-    jobs.push_back(make_svm(20, 10, bg.window * 0.25));
-    std::ostringstream title;
-    title << "fig14/P=" << p;
-    append_run(digest, title.str(),
-               run_scenario(cluster, std::move(jobs), o));
-  }
-  compare_golden("fig14.golden", digest.str());
+  const GoldenScenario s = fig14_scenario();
+  compare_golden(s.file, closed_digest(s));
 }
 
-// Fig. 15 shape (scaled 1/8): 125 nodes x 4 slots, trace background, SQL
-// foreground queries — the scenario the hot-path indexes were built for.
 TEST(GoldenReplay, Fig15ShapedLargeScale) {
-  const ClusterSpec cluster{.nodes = 125, .slots_per_node = 4};
-  TraceGenConfig bg;
-  bg.num_jobs = 500;
-  bg.window = 1800.0;
-  bg.seed = 43;
-
-  std::ostringstream digest;
-  for (int pass = 0; pass < 2; ++pass) {
-    RunOptions o;
-    o.sched.locality_wait = 3.0;
-    o.sched.locality_slowdown = 5.0;
-    o.seed = 1;
-    if (pass == 1) {
-      o.ssr = SsrConfig{};
-      o.ssr->min_reserving_priority = 1;
-    }
-    std::vector<JobSpec> jobs = make_background_jobs(bg);
-    for (std::uint32_t q = 0; q < 10; ++q) {
-      SqlJobParams p;
-      p.query_index = q;
-      p.base_parallelism = 20;
-      p.priority = 10;
-      p.submit_time = bg.window * 0.2 + 30.0 * q;
-      jobs.push_back(make_sql_query(p));
-    }
-    append_run(digest, pass == 0 ? "fig15/nossr" : "fig15/ssr",
-               run_scenario(cluster, std::move(jobs), o));
-  }
-  compare_golden("fig15.golden", digest.str());
+  const GoldenScenario s = fig15_scenario();
+  compare_golden(s.file, closed_digest(s));
 }
 
-// Failure-recovery shape: the fig12 isolation scenario, scaled down, with a
-// deterministic node-failure schedule injected mid-run.  The digest pins the
-// full kill -> re-queue -> copy-wins ordering: attempts killed by dead slots
-// re-enter the queue, straggler copies already running elsewhere win the
-// race and mask failures, and invalidated resident outputs force producer
-// stages to re-run — all without losing a single task.
 TEST(GoldenReplay, FailureRecoveryShapedScenario) {
-  const ClusterSpec cluster{.nodes = 10, .slots_per_node = 2};
-  TraceGenConfig bg;
-  bg.num_jobs = 8;
-  bg.window = 300.0;
-  bg.seed = 3001;
+  const GoldenScenario s = failure_recovery_scenario();
+  std::vector<RunResult> results;
+  const std::string digest = closed_digest(s, &results);
 
-  RunOptions o;
-  o.seed = 1;
-  o.ssr = SsrConfig{};
-  o.ssr->min_reserving_priority = 1;
-  o.ssr->enable_straggler_mitigation = true;
-  // Two transient node outages during the foreground job plus one permanent
-  // loss, so the digest covers kill/re-queue, recovery, and a node that
-  // never comes back (its resident outputs stay lost).
-  o.failures.events.push_back(
-      FailureEvent{FailureEvent::Scope::Node, 0, 120.0, 160.0});
-  o.failures.events.push_back(
-      FailureEvent{FailureEvent::Scope::Node, 7, 140.0, 170.0});
-  o.failures.events.push_back(
-      FailureEvent{FailureEvent::Scope::Node, 5, 110.0, kTimeInfinity});
-
-  std::vector<JobSpec> jobs = make_background_jobs(bg);
-  jobs.push_back(make_kmeans(12, 10, bg.window * 0.25));
-
-  const RunResult run = run_scenario(cluster, std::move(jobs), o);
   // The scenario must actually drive the recovery machinery it pins.
+  ASSERT_EQ(results.size(), 1u);
+  const RunResult& run = results.front();
   EXPECT_GT(run.recovery.slots_failed, 0u);
   EXPECT_GT(run.recovery.tasks_failed, 0u);
   EXPECT_GT(run.recovery.tasks_requeued, 0u);
@@ -212,9 +75,7 @@ TEST(GoldenReplay, FailureRecoveryShapedScenario) {
   EXPECT_GT(run.recovery.reservations_broken, 0u);
   EXPECT_GT(run.dead_time, 0.0);
 
-  std::ostringstream digest;
-  append_run(digest, "failure/ssr+mitigation", run);
-  compare_golden("failure_recovery.golden", digest.str());
+  compare_golden(s.file, digest);
 }
 
 }  // namespace

@@ -3,15 +3,22 @@
 // exercising the scheduler + SSR core on hundreds of generated scenarios.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "ssr/audit/tenant_audit.h"
+#include "ssr/audit/violation.h"
 #include "ssr/core/reservation_manager.h"
 #include "ssr/exp/scenario.h"
 #include "ssr/exp/sweep.h"
 #include "ssr/sched/engine.h"
+#include "ssr/sched/virtual_cluster.h"
 #include "ssr/workload/mlbench.h"
+#include "ssr/workload/open_arrival.h"
 #include "ssr/workload/sqlbench.h"
 #include "ssr/workload/tracegen.h"
 
@@ -333,6 +340,180 @@ TEST(ReservationProperty, StrictIsolationGivesBarrierContinuity) {
     EXPECT_NEAR(engine.jct(fg_id), alone, alone * 0.02) << "seed " << seed;
   }
 }
+
+/// Drives one open-arrival stream through a VirtualClusterManager: advance to
+/// each arrival instant, submit, and (optionally) run `at_arrival` first so
+/// tests can interleave resize/transfer with live traffic.
+void drive_open_arrivals(
+    Engine& engine, VirtualClusterManager& vcm,
+    std::vector<OpenArrival> arrivals,
+    const std::function<void(std::size_t)>& at_arrival = nullptr) {
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    engine.advance_to(arrivals[i].at);
+    if (at_arrival) at_arrival(i);
+    vcm.submit_job(arrivals[i].tenant, std::move(arrivals[i].spec));
+  }
+  engine.drain();
+}
+
+void expect_tenant_audit_clean(const VirtualClusterManager& vcm,
+                               std::uint32_t physical_slots) {
+  const auto violations = audit::audit_virtual_clusters(vcm, physical_slots);
+  EXPECT_TRUE(violations.empty()) << audit::format_report(violations);
+}
+
+class VirtualClusterProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(VirtualClusterProperty, AdmissionNeverExceedsMaxShare) {
+  // At every instant, each tenant's in-flight slot demand stays within its
+  // elastic maximum share.  Demand only grows at admission, so checking after
+  // every submit_job (plus the replayed admission log) covers all instants.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 11 + 3);
+  const std::uint32_t nodes = 4 + static_cast<std::uint32_t>(rng.uniform_int(0, 4));
+  Engine engine(SchedConfig{}, nodes, 2, seed);
+  const std::uint32_t total = nodes * 2;
+  VirtualClusterManager vcm(engine);
+  vcm.add_cluster({.name = "gold",
+                   .min_slots = total / 3,
+                   .max_slots = total / 2 + 1,
+                   .queue_when_full = true});
+  vcm.add_cluster({.name = "silver",
+                   .min_slots = total / 4,
+                   .max_slots = total / 2,
+                   .queue_when_full = (seed % 2) == 0});
+
+  std::vector<OpenTenantProfile> profiles;
+  profiles.push_back({.tenant = "gold",
+                      .mean_interarrival = 12.0,
+                      .num_jobs = 20,
+                      .min_parallelism = 2,
+                      .max_parallelism = total,
+                      .priority = 5});
+  profiles.push_back({.tenant = "silver",
+                      .mean_interarrival = 9.0,
+                      .num_jobs = 25,
+                      .min_parallelism = 2,
+                      .max_parallelism = total,
+                      .priority = 0});
+  drive_open_arrivals(engine, vcm, make_open_arrivals(profiles, seed),
+                      [&](std::size_t) {
+                        for (const std::string& t : vcm.tenant_names()) {
+                          EXPECT_LE(vcm.stats(t).demand_in_flight,
+                                    vcm.spec(t).max_slots)
+                              << t;
+                        }
+                      });
+
+  for (const AdmissionRecord& a : vcm.admission_log()) {
+    EXPECT_LE(a.in_flight_after, a.max_at_admit) << a.tenant << " " << a.job;
+    EXPECT_GE(a.admitted_at, a.requested_at) << a.tenant << " " << a.job;
+  }
+  EXPECT_TRUE(vcm.all_queues_empty());
+  for (const std::string& t : vcm.tenant_names()) {
+    const TenantStats& s = vcm.stats(t);
+    EXPECT_EQ(s.submitted, s.admitted + s.rejected) << t;
+    EXPECT_EQ(s.admitted, s.completed) << t;
+    EXPECT_EQ(s.jobs_in_flight, 0u) << t;
+    EXPECT_EQ(s.demand_in_flight, 0u) << t;
+    EXPECT_LE(s.peak_demand_in_flight, vcm.spec(t).max_slots) << t;
+  }
+  expect_tenant_audit_clean(vcm, total);
+}
+
+TEST_P(VirtualClusterProperty, TransferConservesTotalShares) {
+  // Elastic resize via transfer() moves shares between tenants but conserves
+  // the totals exactly, even while arrivals and completions are in flight.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 13 + 7);
+  Engine engine(SchedConfig{}, 6, 2, seed);  // 12 physical slots
+  VirtualClusterManager vcm(engine);
+  vcm.add_cluster({.name = "a", .min_slots = 4, .max_slots = 10});
+  vcm.add_cluster({.name = "b", .min_slots = 2, .max_slots = 10});
+  vcm.add_cluster({.name = "c", .min_slots = 0, .max_slots = 8});
+  const std::uint32_t total_min = 6, total_max = 28;
+
+  std::vector<OpenTenantProfile> profiles;
+  for (const char* name : {"a", "b", "c"}) {
+    // Widest stages reach lround(1.5 x parallelism) = 6 slots, never more
+    // than any reachable maximum (transfers below keep max >= 6), so queued
+    // heads always fit and transfers stay legal.
+    profiles.push_back({.tenant = name,
+                        .mean_interarrival = 10.0,
+                        .num_jobs = 15,
+                        .min_parallelism = 2,
+                        .max_parallelism = 4});
+  }
+  const std::vector<std::string> names = vcm.tenant_names();
+  std::uint64_t transfers = 0;
+  drive_open_arrivals(
+      engine, vcm, make_open_arrivals(profiles, seed), [&](std::size_t) {
+        if (rng.uniform_int(0, 2) != 0) return;
+        const std::string& from = names[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(names.size()) - 1))];
+        const std::string& to = names[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(names.size()) - 1))];
+        if (from == to || vcm.spec(from).min_slots < 1 ||
+            vcm.spec(from).max_slots < 7) {
+          return;
+        }
+        vcm.transfer(from, to, 1);
+        ++transfers;
+        std::uint32_t sum_min = 0, sum_max = 0;
+        for (const std::string& t : names) {
+          sum_min += vcm.spec(t).min_slots;
+          sum_max += vcm.spec(t).max_slots;
+        }
+        EXPECT_EQ(sum_min, total_min);
+        EXPECT_EQ(sum_max, total_max);
+      });
+  EXPECT_GT(transfers, 0u) << "sweep never exercised transfer()";
+  EXPECT_TRUE(vcm.all_queues_empty());
+  expect_tenant_audit_clean(vcm, 12);
+}
+
+TEST_P(VirtualClusterProperty, StarvedTenantQueueDrainsByQuiescence) {
+  // A tenant squeezed well below the physical cluster queues most of its
+  // traffic behind a slot-hungry neighbor — but every queued job is admitted
+  // and completed by quiescence (drain() strands nothing), because a queued
+  // head always fits the tenant's maximum share.
+  const std::uint64_t seed = GetParam();
+  Engine engine(SchedConfig{}, 6, 2, seed);  // 12 physical slots
+  VirtualClusterManager vcm(engine);
+  vcm.add_cluster({.name = "hog", .min_slots = 6, .max_slots = 12});
+  vcm.add_cluster({.name = "starved", .min_slots = 2, .max_slots = 6});
+
+  std::vector<OpenTenantProfile> profiles;
+  profiles.push_back({.tenant = "hog",
+                      .mean_interarrival = 8.0,
+                      .num_jobs = 30,
+                      .min_parallelism = 6,
+                      .max_parallelism = 10,
+                      .priority = 5});
+  // Widest stage <= lround(1.5 x 4) = 6 == max share, so nothing is ever
+  // rejected: every over-quota submission round-trips through the queue.
+  profiles.push_back({.tenant = "starved",
+                      .mean_interarrival = 15.0,
+                      .num_jobs = 12,
+                      .min_parallelism = 3,
+                      .max_parallelism = 4});
+  drive_open_arrivals(engine, vcm, make_open_arrivals(profiles, seed));
+
+  const TenantStats& s = vcm.stats("starved");
+  EXPECT_EQ(s.submitted, 12u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.admitted, 12u);
+  EXPECT_EQ(s.completed, 12u);
+  EXPECT_GT(s.queued_total, 0u) << "sweep never exercised the queue";
+  EXPECT_GT(s.max_queue_delay, 0.0);
+  EXPECT_TRUE(vcm.all_queues_empty());
+  EXPECT_EQ(vcm.queued_jobs("starved"), 0u);
+  expect_tenant_audit_clean(vcm, 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VirtualClusterProperty,
+                         ::testing::Range<std::uint64_t>(500, 512));
 
 }  // namespace
 }  // namespace ssr

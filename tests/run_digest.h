@@ -1,0 +1,97 @@
+// Shared metric-digest helpers for the golden-replay and open-system
+// equivalence suites.
+//
+// A digest captures, in hexfloat (bit-exact) form, the per-job JCT vector,
+// per-job busy and reserved-idle slot-seconds, and the run totals; a digest
+// match therefore implies bit-identical metrics, not just close ones.  Both
+// suites must format runs identically — the equivalence suite asserts that
+// an open-system (submit/advance_to/drain) replay of a golden scenario
+// reproduces the *committed* golden digest byte for byte — so the formatter
+// lives here, in one place.
+//
+// Consumers must be compiled with SSR_GOLDEN_DIR pointing at tests/golden/.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ssr/exp/scenario.h"
+
+namespace ssr {
+
+// One run's contribution to a digest.  Hexfloat round-trips doubles exactly,
+// so a digest match implies bit-identical metrics, not just close ones.
+inline void append_run(std::ostringstream& out, const std::string& title,
+                       const RunResult& run) {
+  out << std::hexfloat;
+  out << "run " << title << " jobs=" << run.jobs.size() << '\n';
+  for (const JobResult& j : run.jobs) {
+    out << "  job " << j.id << ' ' << j.name << " priority=" << j.priority
+        << " jct=" << j.jct << " busy=" << j.busy_seconds
+        << " reserved_idle=" << j.reserved_idle_seconds << '\n';
+  }
+  out << "  makespan " << run.makespan << '\n';
+  out << "  busy_time " << run.busy_time << '\n';
+  out << "  reserved_idle_time " << run.reserved_idle_time << '\n';
+  out << "  tasks started=" << run.task_totals.tasks_started
+      << " finished=" << run.task_totals.tasks_finished
+      << " killed=" << run.task_totals.tasks_killed
+      << " copies=" << run.task_totals.copies_started
+      << " local=" << run.task_totals.local_starts << '\n';
+  out << "  reservations_expired " << run.reservations_expired << '\n';
+  // Failure-free digests (fig12/fig14/fig15) stay byte-identical: the
+  // recovery block only appears once a run actually saw an injected fault.
+  if (run.recovery.slots_failed > 0 || run.dead_time > 0.0) {
+    out << "  recovery slots_failed=" << run.recovery.slots_failed
+        << " slots_recovered=" << run.recovery.slots_recovered
+        << " tasks_failed=" << run.recovery.tasks_failed
+        << " tasks_requeued=" << run.recovery.tasks_requeued
+        << " failures_masked=" << run.recovery.failures_masked
+        << " stages_invalidated=" << run.recovery.stages_invalidated
+        << " reservations_broken=" << run.recovery.reservations_broken
+        << '\n';
+    out << "  dead_time " << run.dead_time << '\n';
+  }
+  // The run completed without a CheckError; in -DSSR_AUDIT=ON builds this
+  // line also certifies the invariant auditor saw no violation.
+  out << "  audit_clean 1\n";
+}
+
+/// Contents of a committed golden file; nullopt when it does not exist.
+inline std::optional<std::string> read_golden(const std::string& file) {
+  const std::string path = std::string(SSR_GOLDEN_DIR) + "/" + file;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Compare `actual` against the committed golden file; with
+/// SSR_UPDATE_GOLDEN=1 in the environment, rewrite the file instead (and
+/// skip).  Only the golden-replay suite regenerates; read-only consumers
+/// (the equivalence suite) use read_golden().
+inline void compare_golden(const std::string& file, const std::string& actual) {
+  const std::string path = std::string(SSR_GOLDEN_DIR) + "/" + file;
+  if (std::getenv("SSR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  const std::optional<std::string> expected = read_golden(file);
+  ASSERT_TRUE(expected.has_value())
+      << "missing golden file " << path
+      << " — regenerate with SSR_UPDATE_GOLDEN=1 ./tests/golden_replay_test";
+  EXPECT_EQ(*expected, actual)
+      << "metric digest diverged from " << path
+      << "; if the behaviour change is intentional, regenerate with "
+         "SSR_UPDATE_GOLDEN=1 and review the diff";
+}
+
+}  // namespace ssr

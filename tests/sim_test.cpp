@@ -72,6 +72,41 @@ TEST(Simulator, RunUntilStopsAtHorizon) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Simulator, RunUntilFiresBoundaryTiesInBandOrder) {
+  // An injected failure and an ordinary (internal) completion tied exactly
+  // at the advance horizon: both fire — the boundary is inclusive — with
+  // the failure first, whatever the scheduling order; the event an epsilon
+  // past the horizon must not be over-stepped.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, EventBand::kInternal, [&] { order.push_back(2); });
+  sim.schedule_at(5.0, EventBand::kArrival, [&] { order.push_back(1); });
+  sim.schedule_at(5.0, EventBand::kFailure, [&] { order.push_back(0); });
+  sim.schedule_at(5.0 + 1e-9, EventBand::kFailure, [&] { order.push_back(9); });
+  sim.run_until(5.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_DOUBLE_EQ(sim.next_event_time(), 5.0 + 1e-9);
+}
+
+TEST(Simulator, StepUntilIsBoundedSingleStep) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.schedule_at(8.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step_until(5.0));  // fires the 2.0 event only
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);  // clock moved to the event, not beyond
+  EXPECT_FALSE(sim.step_until(5.0));  // 8.0 is past the horizon: no pop
+  EXPECT_EQ(sim.pending_events(), 1u);
+  // A callback scheduling *at the horizon* still lands inside run_until.
+  sim.schedule_at(5.0, [&] { sim.schedule_at(5.0, [&] { fired += 10; }); });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 11);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
 TEST(Cluster, LayoutAndInitialState) {
   Cluster c(3, 2);
   EXPECT_EQ(c.num_nodes(), 3u);
