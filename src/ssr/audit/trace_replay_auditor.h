@@ -1,0 +1,39 @@
+// SlotLedger adapter for captured event streams.
+//
+// ReplayAuditor re-runs the invariant audit over a trace capture
+// (metrics/trace_capture.h) with no Engine: each TraceEvent maps onto the
+// same SlotLedger call the live InvariantAuditor would have made for the
+// corresponding observer callback (claim-vs-start split on the ledger's own
+// reserved state, task_failed folded onto on_kill, stage parents from the
+// captured barrier lists).  A capture of a clean run must replay clean; a
+// capture that trips the ledger names the violated invariant — the
+// replay-verify CI step uses this to re-certify committed fixtures without
+// re-simulating them.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "ssr/audit/slot_ledger.h"
+#include "ssr/common/ids.h"
+#include "ssr/metrics/trace_capture.h"
+
+namespace ssr::audit {
+
+class ReplayAuditor : public TraceConsumer {
+ public:
+  void on_trace_begin(const TraceHeader& header) override;
+  void on_trace_event(const TraceEvent& event) override;
+
+  /// Valid after on_trace_begin (replay() fires it first).
+  const SlotLedger& ledger() const;
+
+  bool clean() const { return ledger().clean(); }
+
+ private:
+  std::optional<SlotLedger> ledger_;
+  /// Job priorities captured at submission (the claim check's input).
+  std::map<JobId, int> priority_;
+};
+
+}  // namespace ssr::audit

@@ -5,6 +5,8 @@
 
 #include "ssr/audit/invariant_auditor.h"
 #include "ssr/core/reservation_manager.h"
+#include "ssr/metrics/engine_metrics.h"
+#include "ssr/metrics/trace_capture.h"
 
 namespace ssr {
 
@@ -12,7 +14,10 @@ ScenarioHarness::ScenarioHarness(const ClusterSpec& cluster,
                                  const RunOptions& options)
     : engine_(options.sched, cluster.nodes, cluster.slots_per_node,
               options.seed),
-      injector_(options.failures) {
+      detection_(
+          detect_failures(options.failures, options.detector, cluster.nodes)),
+      injector_(detection_.detected),
+      capture_path_(options.capture_path) {
   std::unique_ptr<ReservationHook> hook;
   if (options.hook_factory) {
     hook = options.hook_factory();
@@ -26,7 +31,22 @@ ScenarioHarness::ScenarioHarness(const ClusterSpec& cluster,
   }
   engine_.add_observer(&task_stats_);
   engine_.add_observer(&recovery_stats_);
-  if (!options.failures.empty()) {
+  if (!capture_path_.empty()) {
+    recorder_ = std::make_unique<TraceRecorder>(
+        cluster.nodes, engine_.cluster().num_slots(), options.seed,
+        options.metrics_policy, /*counts_expired=*/manager_ != nullptr);
+    recorder_->set_detector_outcome(detection_.suspicions.size(),
+                                    detection_.false_suspicions());
+    engine_.add_observer(recorder_.get());
+  }
+  if (options.metrics != nullptr) {
+    registry_ = options.metrics;
+    metrics_policy_ = options.metrics_policy;
+    metrics_ = std::make_unique<EngineMetrics>(*options.metrics,
+                                               options.metrics_policy);
+    engine_.add_observer(metrics_.get());
+  }
+  if (!detection_.detected.empty()) {
     injector_.attach(engine_.sim(), engine_);
   }
 #if defined(SSR_AUDIT_ENABLED)
@@ -70,6 +90,16 @@ RunResult ScenarioHarness::collect(const std::vector<JobId>& ids) {
   result.task_totals = task_stats_.totals();
   result.recovery = recovery_stats_.stats();
   result.dead_time = engine_.cluster().total_dead_time();
+  result.suspicions = detection_.suspicions.size();
+  result.false_suspicions = detection_.false_suspicions();
+  if (registry_ != nullptr) {
+    // End-of-run snapshot of the non-event-shaped state (the per-event
+    // series were fed live by the EngineMetrics observer).
+    record_recovery(*registry_, result.recovery, metrics_policy_);
+  }
+  if (recorder_ != nullptr && !capture_path_.empty()) {
+    recorder_->write_file(capture_path_);
+  }
   return result;
 }
 

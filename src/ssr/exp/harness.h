@@ -17,6 +17,7 @@
 #include "ssr/exp/scenario.h"
 #include "ssr/metrics/collectors.h"
 #include "ssr/sched/engine.h"
+#include "ssr/sim/failure_detector.h"
 #include "ssr/sim/failure_injector.h"
 
 namespace ssr::audit {
@@ -25,15 +26,21 @@ class InvariantAuditor;
 
 namespace ssr {
 
+class EngineMetrics;
 class ReservationManager;
+class TraceRecorder;
 
 class ScenarioHarness {
  public:
   /// Builds the engine and attaches, in order: reservation hook, task-stats
-  /// collector, recovery-stats collector, failure injector (only for
-  /// non-empty schedules — a failure-free run stays bit-identical to one
-  /// that never saw an injector), invariant auditor (only when the library
-  /// was built with -DSSR_AUDIT=ON).
+  /// collector, recovery-stats collector, trace recorder (only when
+  /// options.capture_path is set), metrics observer (only when
+  /// options.metrics is set), failure injector (only for non-empty detected
+  /// schedules — a failure-free run stays bit-identical to one that never
+  /// saw an injector), invariant auditor (only when the library was built
+  /// with -DSSR_AUDIT=ON).  The injector is driven by the failure
+  /// detector's *detected* schedule (sim/failure_detector.h), which equals
+  /// the ground truth verbatim when the detector is off.
   ScenarioHarness(const ClusterSpec& cluster, const RunOptions& options);
   ~ScenarioHarness();
 
@@ -43,16 +50,35 @@ class ScenarioHarness {
   Engine& engine() { return engine_; }
   const Engine& engine() const { return engine_; }
 
+  /// Attached trace recorder, or nullptr (no capture requested).  Open
+  /// runners install the tenant resolver through this.
+  TraceRecorder* recorder() { return recorder_.get(); }
+
+  /// Attached metrics observer, or nullptr (no registry provided).
+  EngineMetrics* engine_metrics() { return metrics_.get(); }
+
+  /// The detector's verdict on options.failures (pass-through when off).
+  const DetectionOutcome& detection() const { return detection_; }
+
   /// Collect the RunResult for the given jobs (submission order) after the
-  /// engine drained.  Settles cluster accounting first (idempotent).
+  /// engine drained.  Settles cluster accounting first (idempotent).  Also
+  /// writes the capture file when options.capture_path was set.
   RunResult collect(const std::vector<JobId>& ids);
 
  private:
   Engine engine_;
   TaskStatsCollector task_stats_;
   RecoveryStatsCollector recovery_stats_;
+  DetectionOutcome detection_;
   FailureInjector injector_;
   const ReservationManager* manager_ = nullptr;
+  std::unique_ptr<TraceRecorder> recorder_;
+  std::unique_ptr<EngineMetrics> metrics_;
+  /// Registry + policy label for the end-of-run snapshots collect() records
+  /// (recovery counters); non-owning, mirrors options.metrics.
+  MetricsRegistry* registry_ = nullptr;
+  std::string metrics_policy_;
+  std::string capture_path_;
   /// Present only when ssr_exp was compiled with SSR_AUDIT_ENABLED; kept as
   /// a pointer so this header stays macro-free (no ODR drift between the
   /// library and test translation units).

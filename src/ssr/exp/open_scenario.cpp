@@ -6,6 +6,8 @@
 #include "ssr/audit/violation.h"
 #include "ssr/common/check.h"
 #include "ssr/exp/harness.h"
+#include "ssr/metrics/engine_metrics.h"
+#include "ssr/metrics/trace_capture.h"
 
 namespace ssr {
 
@@ -18,6 +20,15 @@ RunResult run_open_scenario(const ClusterSpec& cluster,
   VirtualClusterManager vcm(engine);
   for (const VirtualClusterSpec& tenant : spec.tenants) {
     vcm.add_cluster(tenant);
+  }
+  // Tenancy is registered at admission, before the arrival event fires, so
+  // tenant_of resolves by the time on_job_submitted reaches any observer.
+  const auto tenant_resolver = [&vcm](JobId job) { return vcm.tenant_of(job); };
+  if (TraceRecorder* recorder = harness.recorder()) {
+    recorder->set_tenant_resolver(tenant_resolver);
+  }
+  if (EngineMetrics* metrics = harness.engine_metrics()) {
+    metrics->set_tenant_resolver(tenant_resolver);
   }
 
   SimTime last = 0.0;
@@ -67,6 +78,9 @@ RunResult run_open_scenario(const ClusterSpec& cluster,
     tr.max_queue_delay = stats.max_queue_delay;
     tr.mean_jct = stats.mean_jct();
     result.tenants.push_back(std::move(tr));
+  }
+  if (options.metrics != nullptr) {
+    record_tenant_stats(*options.metrics, vcm);
   }
   return result;
 }

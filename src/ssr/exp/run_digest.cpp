@@ -1,0 +1,46 @@
+#include "ssr/exp/run_digest.h"
+
+namespace ssr {
+
+void append_run_digest(std::ostringstream& out, const std::string& title,
+                       const RunResult& run) {
+  out << std::hexfloat;
+  out << "run " << title << " jobs=" << run.jobs.size() << '\n';
+  for (const JobResult& j : run.jobs) {
+    out << "  job " << j.id << ' ' << j.name << " priority=" << j.priority
+        << " jct=" << j.jct << " busy=" << j.busy_seconds
+        << " reserved_idle=" << j.reserved_idle_seconds << '\n';
+  }
+  out << "  makespan " << run.makespan << '\n';
+  out << "  busy_time " << run.busy_time << '\n';
+  out << "  reserved_idle_time " << run.reserved_idle_time << '\n';
+  out << "  tasks started=" << run.task_totals.tasks_started
+      << " finished=" << run.task_totals.tasks_finished
+      << " killed=" << run.task_totals.tasks_killed
+      << " copies=" << run.task_totals.copies_started
+      << " local=" << run.task_totals.local_starts << '\n';
+  out << "  reservations_expired " << run.reservations_expired << '\n';
+  // Failure-free digests (fig12/fig14/fig15) stay byte-identical: the
+  // recovery block only appears once a run actually saw an injected fault.
+  if (run.recovery.slots_failed > 0 || run.dead_time > 0.0) {
+    out << "  recovery slots_failed=" << run.recovery.slots_failed
+        << " slots_recovered=" << run.recovery.slots_recovered
+        << " tasks_failed=" << run.recovery.tasks_failed
+        << " tasks_requeued=" << run.recovery.tasks_requeued
+        << " failures_masked=" << run.recovery.failures_masked
+        << " stages_invalidated=" << run.recovery.stages_invalidated
+        << " reservations_broken=" << run.recovery.reservations_broken << '\n';
+    out << "  dead_time " << run.dead_time << '\n';
+  }
+  // Detector-off runs (every pre-existing golden) emit no detector line, so
+  // their committed digests stay byte-identical.
+  if (run.suspicions > 0) {
+    out << "  detector suspicions=" << run.suspicions
+        << " false=" << run.false_suspicions << '\n';
+  }
+  // The run completed without a CheckError; in -DSSR_AUDIT=ON builds this
+  // line also certifies the invariant auditor saw no violation.
+  out << "  audit_clean 1\n";
+}
+
+}  // namespace ssr

@@ -1,0 +1,22 @@
+// Bit-exact textual digest of a RunResult.
+//
+// A digest captures, in hexfloat (bit-exact) form, the per-job JCT vector,
+// per-job busy and reserved-idle slot-seconds, and the run totals; a digest
+// match therefore implies bit-identical metrics, not just close ones.  The
+// golden-replay suite, the open-system equivalence suite, the record/replay
+// suite and the replay-verify CI tool all format runs through this one
+// function, so "same digest" means the same thing everywhere.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "ssr/exp/scenario.h"
+
+namespace ssr {
+
+/// Append one run's contribution to a digest under a stable title.
+void append_run_digest(std::ostringstream& out, const std::string& title,
+                       const RunResult& run);
+
+}  // namespace ssr

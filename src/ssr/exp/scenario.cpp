@@ -112,11 +112,14 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       args.json = value_of(i);
     } else if (std::strcmp(argv[i], "--bench-json") == 0) {
       args.bench_json = value_of(i);
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      args.metrics_json = value_of(i);
     } else {
       SSR_CHECK_MSG(false, "unknown argument '"
                                << argv[i]
                                << "' (expected --scale, --seed, --jobs, "
-                                  "--csv, --json, or --bench-json)");
+                                  "--csv, --json, --bench-json, or "
+                                  "--metrics-json)");
     }
   }
   return args;

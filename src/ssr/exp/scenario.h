@@ -14,7 +14,9 @@
 #include "ssr/core/ssr_config.h"
 #include "ssr/dag/job.h"
 #include "ssr/metrics/collectors.h"
+#include "ssr/metrics/registry.h"
 #include "ssr/sched/types.h"
+#include "ssr/sim/failure_detector.h"
 #include "ssr/sim/failure_injector.h"
 
 namespace ssr {
@@ -38,8 +40,22 @@ struct RunOptions {
   std::uint64_t seed = 1;
   /// Deterministic fault-injection schedule (sim/failure_injector.h); empty
   /// runs the scenario failure-free with bit-identical behaviour to a run
-  /// that never attached an injector.
+  /// that never attached an injector.  This is the ground truth; what the
+  /// engine acts on is detect_failures(failures, detector, nodes).detected.
   FailureSchedule failures;
+  /// Heartbeat failure detector (sim/failure_detector.h).  Default
+  /// (heartbeat_period == 0) is instantaneous detection: the truth schedule
+  /// passes through verbatim and event streams stay byte-identical to runs
+  /// that never saw a detector.
+  FailureDetectorConfig detector;
+  /// When set, the full observer event stream is captured and written here
+  /// as an ssr-trace file (metrics/trace_capture.h) at end of run.
+  std::string capture_path;
+  /// When set, an EngineMetrics observer feeds this registry during the run
+  /// (per-policy and, for open-system runs, per-tenant label groups) under
+  /// the `metrics_policy` label.  Non-owning; must outlive the run.
+  MetricsRegistry* metrics = nullptr;
+  std::string metrics_policy = "run";
 };
 
 struct JobResult {
@@ -90,6 +106,11 @@ struct RunResult {
   /// Slot-seconds spent Dead (excluded from the utilization denominator a
   /// failure-aware caller should use).
   double dead_time = 0.0;
+  /// Failure-detector outcome: suspicion windows the engine acted on, and
+  /// how many of them were false (the target was alive the whole window).
+  /// Both zero when the run used instantaneous detection.
+  std::uint64_t suspicions = 0;
+  std::uint64_t false_suspicions = 0;
   /// Tenant accounting, in tenant declaration order.  Empty for closed
   /// (run_scenario) runs — only run_open_scenario populates it.
   std::vector<TenantResult> tenants;
@@ -116,7 +137,7 @@ inline double slowdown(double measured_jct, double alone) {
 }
 
 /// Parse "--scale N", "--seed S", "--jobs N", "--csv F", "--json F",
-/// "--bench-json F" overrides from a bench's argv.  scale divides workload sizes so CI
+/// "--bench-json F", "--metrics-json F" overrides from a bench's argv.  scale divides workload sizes so CI
 /// machines can run the large-scale simulations faster; 1 reproduces the
 /// paper-scale setup.  jobs sets the sweep worker-pool size (0 = one worker
 /// per hardware core).  Malformed or out-of-range values and unknown flags
@@ -131,6 +152,9 @@ struct BenchArgs {
   /// When set, perf benches write the BENCH_sched.json perf report here
   /// (see exp/bench_report.h for the schema).
   std::string bench_json;
+  /// When set, benches that keep a MetricsRegistry export it here as
+  /// ssr-metrics-v1 JSON (metrics/registry.h) next to their other outputs.
+  std::string metrics_json;
 
   static BenchArgs parse(int argc, char** argv);
   /// value / scale, at least 1 (for counts).

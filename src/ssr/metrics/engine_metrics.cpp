@@ -1,0 +1,209 @@
+#include "ssr/metrics/engine_metrics.h"
+
+#include <utility>
+
+#include "ssr/sched/engine.h"
+#include "ssr/sched/virtual_cluster.h"
+
+namespace ssr {
+
+std::vector<double> default_duration_bounds() {
+  return {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0};
+}
+
+namespace {
+
+/// Eagerly create the full per-group series set so exports from empty runs
+/// carry every series at zero instead of omitting them.
+void touch_series(MetricGroup& g) {
+  g.counter("jobs_submitted");
+  g.counter("jobs_finished");
+  g.counter("tasks_started");
+  g.counter("tasks_finished");
+  g.counter("tasks_killed");
+  g.counter("tasks_failed");
+  g.counter("tasks_requeued");
+  g.histogram("task_duration_seconds", default_duration_bounds());
+  g.histogram("jct_seconds", default_duration_bounds());
+}
+
+}  // namespace
+
+EngineMetrics::EngineMetrics(MetricsRegistry& registry, std::string policy)
+    : registry_(registry),
+      policy_(std::move(policy)),
+      policy_group_(registry_.group({{"policy", policy_}})) {
+  touch_series(policy_group_);
+  policy_group_.counter("stages_submitted");
+  policy_group_.counter("stages_finished");
+  policy_group_.counter("stages_invalidated");
+  policy_group_.counter("slots_failed");
+  policy_group_.counter("slots_recovered");
+  policy_group_.counter("reservations_made");
+  policy_group_.counter("reservations_expired");
+  policy_group_.counter("reservations_released");
+  policy_group_.counter("reservations_broken");
+  policy_group_.gauge("makespan_seconds");
+  policy_group_.gauge("utilization");
+}
+
+MetricGroup* EngineMetrics::tenant_group(JobId job) {
+  if (!tenant_of_) return nullptr;
+  const std::string* tenant = tenant_of_(job);
+  if (tenant == nullptr) return nullptr;
+  auto it = tenant_groups_.find(*tenant);
+  if (it == tenant_groups_.end()) {
+    MetricGroup g =
+        registry_.group({{"policy", policy_}, {"tenant", *tenant}});
+    touch_series(g);
+    it = tenant_groups_.emplace(*tenant, std::move(g)).first;
+  }
+  return &it->second;
+}
+
+void EngineMetrics::on_job_submitted(const Engine&, JobId job) {
+  policy_group_.counter("jobs_submitted").inc();
+  if (MetricGroup* g = tenant_group(job)) g->counter("jobs_submitted").inc();
+}
+
+void EngineMetrics::on_job_finished(const Engine& engine, JobId job) {
+  policy_group_.counter("jobs_finished").inc();
+  const double jct = engine.sim().now() - engine.graph(job).submit_time();
+  policy_group_.histogram("jct_seconds", default_duration_bounds())
+      .observe(jct);
+  if (MetricGroup* g = tenant_group(job)) {
+    g->counter("jobs_finished").inc();
+    g->histogram("jct_seconds", default_duration_bounds()).observe(jct);
+  }
+}
+
+void EngineMetrics::on_stage_submitted(const Engine&, StageId) {
+  policy_group_.counter("stages_submitted").inc();
+}
+
+void EngineMetrics::on_stage_finished(const Engine&, StageId) {
+  policy_group_.counter("stages_finished").inc();
+}
+
+void EngineMetrics::on_task_started(const Engine& engine, TaskId task,
+                                    SlotId) {
+  policy_group_.counter("tasks_started").inc();
+  started_at_[task] = engine.sim().now();
+  if (MetricGroup* g = tenant_group(task.stage.job)) {
+    g->counter("tasks_started").inc();
+  }
+}
+
+void EngineMetrics::on_task_finished(const Engine& engine, TaskId task,
+                                     SlotId) {
+  policy_group_.counter("tasks_finished").inc();
+  auto it = started_at_.find(task);
+  if (it != started_at_.end()) {
+    const double duration = engine.sim().now() - it->second;
+    policy_group_.histogram("task_duration_seconds", default_duration_bounds())
+        .observe(duration);
+    if (MetricGroup* g = tenant_group(task.stage.job)) {
+      g->histogram("task_duration_seconds", default_duration_bounds())
+          .observe(duration);
+    }
+    started_at_.erase(it);
+  }
+  if (MetricGroup* g = tenant_group(task.stage.job)) {
+    g->counter("tasks_finished").inc();
+  }
+}
+
+void EngineMetrics::on_task_killed(const Engine&, TaskId task, SlotId) {
+  policy_group_.counter("tasks_killed").inc();
+  started_at_.erase(task);
+  if (MetricGroup* g = tenant_group(task.stage.job)) {
+    g->counter("tasks_killed").inc();
+  }
+}
+
+void EngineMetrics::on_task_failed(const Engine&, TaskId task, SlotId) {
+  policy_group_.counter("tasks_failed").inc();
+  started_at_.erase(task);
+  if (MetricGroup* g = tenant_group(task.stage.job)) {
+    g->counter("tasks_failed").inc();
+  }
+}
+
+void EngineMetrics::on_task_requeued(const Engine&, TaskId task) {
+  policy_group_.counter("tasks_requeued").inc();
+  if (MetricGroup* g = tenant_group(task.stage.job)) {
+    g->counter("tasks_requeued").inc();
+  }
+}
+
+void EngineMetrics::on_stage_invalidated(const Engine&, StageId) {
+  policy_group_.counter("stages_invalidated").inc();
+}
+
+void EngineMetrics::on_slot_failed(const Engine&, SlotId) {
+  policy_group_.counter("slots_failed").inc();
+}
+
+void EngineMetrics::on_slot_recovered(const Engine&, SlotId) {
+  policy_group_.counter("slots_recovered").inc();
+}
+
+void EngineMetrics::on_slot_reserved(const Engine&, SlotId,
+                                     const Reservation&) {
+  policy_group_.counter("reservations_made").inc();
+}
+
+void EngineMetrics::on_reservation_released(const Engine&, SlotId,
+                                            ReservationEndReason reason) {
+  switch (reason) {
+    case ReservationEndReason::Expired:
+      policy_group_.counter("reservations_expired").inc();
+      break;
+    case ReservationEndReason::Released:
+      policy_group_.counter("reservations_released").inc();
+      break;
+    case ReservationEndReason::SlotFailed:
+      policy_group_.counter("reservations_broken").inc();
+      break;
+  }
+}
+
+void EngineMetrics::on_run_complete(const Engine& engine) {
+  policy_group_.gauge("makespan_seconds").set(engine.sim().now());
+  policy_group_.gauge("utilization")
+      .set(engine.cluster().utilization(engine.sim().now()));
+}
+
+void record_recovery(MetricsRegistry& registry, const RecoveryStats& stats,
+                     const std::string& policy) {
+  MetricGroup g = registry.group({{"policy", policy}});
+  g.counter("recovery_slots_failed").inc(stats.slots_failed);
+  g.counter("recovery_slots_recovered").inc(stats.slots_recovered);
+  g.counter("recovery_tasks_failed").inc(stats.tasks_failed);
+  g.counter("recovery_tasks_requeued").inc(stats.tasks_requeued);
+  g.counter("recovery_failures_masked").inc(stats.failures_masked);
+  g.counter("recovery_stages_invalidated").inc(stats.stages_invalidated);
+  g.counter("recovery_reservations_broken").inc(stats.reservations_broken);
+}
+
+void record_tenant_stats(MetricsRegistry& registry,
+                         const VirtualClusterManager& vcm) {
+  for (const std::string& name : vcm.tenant_names()) {
+    const VirtualClusterSpec& shares = vcm.spec(name);
+    const TenantStats& stats = vcm.stats(name);
+    MetricGroup g = registry.group({{"tenant", name}});
+    g.gauge("min_slots").set(shares.min_slots);
+    g.gauge("max_slots").set(shares.max_slots);
+    g.counter("jobs_submitted_total").inc(stats.submitted);
+    g.counter("jobs_admitted_total").inc(stats.admitted);
+    g.counter("jobs_rejected_total").inc(stats.rejected);
+    g.counter("jobs_completed_total").inc(stats.completed);
+    g.counter("jobs_queued_total").inc(stats.queued_total);
+    g.gauge("peak_demand_slots").set(stats.peak_demand_in_flight);
+    g.gauge("mean_queue_delay_seconds").set(stats.mean_queue_delay());
+    g.gauge("max_queue_delay_seconds").set(stats.max_queue_delay);
+    g.gauge("mean_jct_seconds").set(stats.mean_jct());
+  }
+}
+
+}  // namespace ssr

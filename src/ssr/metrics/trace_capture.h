@@ -1,0 +1,226 @@
+// Replayable capture of the engine's observer event stream.
+//
+// TraceRecorder is an EngineObserver that snapshots every callback of the
+// audit seam (sched/types.h) into a self-contained TraceEvent record: each
+// event carries the derived context a consumer would otherwise pull from the
+// live Engine — the submitting job's name/priority/tenant, the data-locality
+// flag of a starting attempt, the full Reservation of a reserve, a stage's
+// parent list.  The capture can therefore re-drive every consumer-side chain
+// (metric collectors, the SlotLedger invariant auditor, the Chrome-trace
+// exporter, the RunResult/digest pipeline) from file, with no Engine and no
+// re-simulation — see exp/trace_replay.h for the bit-identical RunResult
+// reconstruction this enables.
+//
+// The on-disk format (ssr-trace v1) is a compact little-endian binary:
+//
+//   magic "SSRTRACE" | body | fnv1a64(body)
+//   body = u32 version | header | u64 event_count | events...
+//   header = u32 num_nodes | u32 num_slots | u64 seed | u8 counts_expired
+//          | u64 suspicions | u64 false_suspicions | str policy
+//   event = u8 kind | f64 time | kind-specific payload (fixed-width ints,
+//           IEEE doubles bit-cast to u64, u32-length-prefixed strings)
+//
+// Doubles round-trip bit-exactly, so a replayed digest can be compared
+// byte-for-byte against the committed goldens.  TraceReplayer validates
+// magic, version and checksum up front and bounds-checks every read;
+// corrupt, truncated or version-skewed files are rejected with a CheckError
+// naming the defect instead of yielding garbage events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ssr/common/ids.h"
+#include "ssr/common/time.h"
+#include "ssr/metrics/trace_export.h"
+#include "ssr/sched/types.h"
+
+namespace ssr {
+
+/// Current on-disk format version.  Bump on any layout change; the replayer
+/// refuses other versions (no silent cross-version decoding).
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// One EngineObserver callback, in capture order.  Discriminants match the
+/// callback that produced the record; every on_* callback of EngineObserver
+/// has exactly one kind here (the lint trace-schema rule enforces this).
+enum class TraceEventKind : std::uint8_t {
+  kJobSubmitted = 1,
+  kJobFinished = 2,
+  kStageSubmitted = 3,
+  kStageFinished = 4,
+  kTaskStarted = 5,
+  kTaskFinished = 6,
+  kTaskKilled = 7,
+  kTaskFailed = 8,
+  kTaskRequeued = 9,
+  kStageInvalidated = 10,
+  kSlotFailed = 11,
+  kSlotRecovered = 12,
+  kSlotReserved = 13,
+  kReservationReleased = 14,
+  kRunComplete = 15,
+};
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kRunComplete;
+  SimTime time = 0.0;
+
+  TaskId task;    ///< task-scoped kinds (stage/job implied by the id)
+  StageId stage;  ///< stage-scoped kinds
+  SlotId slot;    ///< slot-scoped kinds and task placements
+  JobId job;      ///< job-scoped kinds; reserving job for kSlotReserved
+
+  // kJobSubmitted context (so replay needs no JobGraph):
+  std::string job_name;
+  std::string tenant;  ///< empty = untenanted (closed-system run)
+  /// Job priority (kJobSubmitted) / reservation priority (kSlotReserved).
+  int priority = 0;
+
+  /// kTaskStarted: the attempt launched with data locality (original
+  /// attempts only; mirrors TaskStatsCollector's local_starts rule).
+  bool local = false;
+
+  // kSlotReserved: the full Reservation.
+  SimTime deadline = kTimeInfinity;
+  StageId for_stage;
+  std::uint64_t token = 0;
+
+  // kReservationReleased:
+  ReservationEndReason reason = ReservationEndReason::Released;
+
+  /// kStageSubmitted: parent stage indexes within the job (barrier inputs).
+  std::vector<std::uint32_t> parents;
+};
+
+/// Run-level context every consumer needs before the first event.
+struct TraceHeader {
+  std::uint32_t version = kTraceVersion;
+  std::uint32_t num_nodes = 0;
+  std::uint32_t num_slots = 0;
+  std::uint64_t seed = 0;
+  /// True iff the run's hook was a ReservationManager, whose expiry counter
+  /// equals the number of Expired-reason releases; gates whether a replay
+  /// may reconstruct RunResult::reservations_expired.
+  bool counts_expired = false;
+  /// Failure-detector outcome of the recorded run (not event-shaped; see
+  /// sim/failure_detector.h).  Zero for detector-off runs.
+  std::uint64_t suspicions = 0;
+  std::uint64_t false_suspicions = 0;
+  std::string policy;  ///< label only (e.g. "ssr", "nossr")
+};
+
+/// Consumer side of a replay: TraceReplayer::replay drives these in file
+/// order, exactly as the live engine drove its observers.
+class TraceConsumer {
+ public:
+  virtual ~TraceConsumer() = default;
+
+  /// Fired once, before the first event.
+  virtual void on_trace_begin(const TraceHeader& header) { (void)header; }
+  virtual void on_trace_event(const TraceEvent& event) = 0;
+};
+
+/// Captures the observer stream of one run.  Attach alongside (not instead
+/// of) the normal collectors; recording is passive and order-preserving.
+class TraceRecorder : public EngineObserver {
+ public:
+  TraceRecorder(std::uint32_t num_nodes, std::uint32_t num_slots,
+                std::uint64_t seed, std::string policy, bool counts_expired);
+
+  /// Resolve an admitted job to its tenant at on_job_submitted time; nullptr
+  /// or unset = untenanted (VirtualClusterManager::tenant_of is canonical).
+  void set_tenant_resolver(std::function<const std::string*(JobId)> resolver) {
+    tenant_of_ = std::move(resolver);
+  }
+
+  /// Record the detector outcome (harness calls this after the transform;
+  /// suspicion counts are inputs to the run, not observer events).
+  void set_detector_outcome(std::uint64_t suspicions,
+                            std::uint64_t false_suspicions) {
+    header_.suspicions = suspicions;
+    header_.false_suspicions = false_suspicions;
+  }
+
+  void on_job_submitted(const Engine& engine, JobId job) override;
+  void on_job_finished(const Engine& engine, JobId job) override;
+  void on_stage_submitted(const Engine& engine, StageId stage) override;
+  void on_stage_finished(const Engine& engine, StageId stage) override;
+  void on_task_started(const Engine& engine, TaskId task, SlotId slot) override;
+  void on_task_finished(const Engine& engine, TaskId task,
+                        SlotId slot) override;
+  void on_task_killed(const Engine& engine, TaskId task, SlotId slot) override;
+  void on_task_failed(const Engine& engine, TaskId task, SlotId slot) override;
+  void on_task_requeued(const Engine& engine, TaskId task) override;
+  void on_stage_invalidated(const Engine& engine, StageId stage) override;
+  void on_slot_failed(const Engine& engine, SlotId slot) override;
+  void on_slot_recovered(const Engine& engine, SlotId slot) override;
+  void on_slot_reserved(const Engine& engine, SlotId slot,
+                        const Reservation& reservation) override;
+  void on_reservation_released(const Engine& engine, SlotId slot,
+                               ReservationEndReason reason) override;
+  void on_run_complete(const Engine& engine) override;
+
+  const TraceHeader& header() const { return header_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Full file image (magic + body + checksum).
+  std::string serialize() const;
+  void write_file(const std::string& path) const;
+
+ private:
+  TraceEvent& push(const Engine& engine, TraceEventKind kind);
+
+  TraceHeader header_;
+  std::function<const std::string*(JobId)> tenant_of_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Parses a capture eagerly (validating as it goes) and re-drives consumers.
+class TraceReplayer {
+ public:
+  /// Both throw CheckError on unreadable, corrupt, truncated or
+  /// version-mismatched input.
+  static TraceReplayer from_file(const std::string& path);
+  static TraceReplayer from_bytes(const std::string& bytes);
+
+  const TraceHeader& header() const { return header_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Drive every consumer through the whole capture: one on_trace_begin,
+  /// then every event in file order (all consumers see an event before any
+  /// sees the next — the live engine's observer order).
+  void replay(const std::vector<TraceConsumer*>& consumers) const;
+
+ private:
+  TraceReplayer() = default;
+
+  TraceHeader header_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Serialize just the events (testing seam; serialize() wraps this).
+std::string serialize_trace(const TraceHeader& header,
+                            const std::vector<TraceEvent>& events);
+
+/// Rebuilds a Chrome-trace export from a capture: attempts reconstructed
+/// from start/finish/kill events, job submit/finish instants, per-tenant
+/// tracks from the captured tenant labels.  The exporter must outlive the
+/// replay.
+class TraceExportFeeder : public TraceConsumer {
+ public:
+  explicit TraceExportFeeder(TraceExporter& exporter) : exporter_(exporter) {}
+
+  void on_trace_event(const TraceEvent& event) override;
+
+ private:
+  TraceExporter& exporter_;
+  /// Job context captured from kJobSubmitted (name, tenant), keyed by id.
+  std::map<JobId, std::pair<std::string, std::string>> jobs_;
+};
+
+}  // namespace ssr

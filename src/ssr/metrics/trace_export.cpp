@@ -1,52 +1,41 @@
 #include "ssr/metrics/trace_export.h"
 
-#include <iomanip>
 #include <sstream>
+#include <utility>
 
 #include "ssr/common/check.h"
+#include "ssr/metrics/json.h"
 #include "ssr/sched/engine.h"
 
 namespace ssr {
 namespace {
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          std::ostringstream esc;
-          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-              << static_cast<int>(c);
-          out += esc.str();
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 /// 1 simulated second -> 1000 trace microseconds (1 ms).
 long long to_us(SimTime t) { return static_cast<long long>(t * 1000.0); }
 
 }  // namespace
 
-void TraceExporter::on_task_started(const Engine& engine, TaskId task,
-                                    SlotId slot) {
+std::uint32_t TraceExporter::track_of(const std::string& tenant) {
+  if (tenant.empty()) return 0;
+  auto it = track_index_.find(tenant);
+  if (it == track_index_.end()) {
+    tracks_.push_back(tenant);
+    it = track_index_
+             .emplace(tenant, static_cast<std::uint32_t>(tracks_.size() - 1))
+             .first;
+  }
+  return it->second;
+}
+
+void TraceExporter::record_task_started(SimTime now, TaskId task, SlotId slot,
+                                        std::string job_name,
+                                        const std::string& tenant) {
   Attempt a;
   a.task = task;
   a.slot = slot;
-  a.start = engine.sim().now();
-  a.job_name = engine.job_name(task.stage.job);
+  a.start = now;
+  a.job_name = std::move(job_name);
+  a.track = track_of(tenant);
   open_[task] = events_.size();
   events_.push_back(std::move(a));
 }
@@ -62,24 +51,44 @@ void TraceExporter::close_attempt(TaskId task, SlotId slot, SimTime at,
   open_.erase(it);
 }
 
+void TraceExporter::record_task_finished(SimTime now, TaskId task,
+                                         SlotId slot) {
+  close_attempt(task, slot, now, /*killed=*/false);
+}
+
+void TraceExporter::record_task_killed(SimTime now, TaskId task, SlotId slot) {
+  close_attempt(task, slot, now, /*killed=*/true);
+}
+
+void TraceExporter::record_instant(std::string name, SimTime at) {
+  instants_.push_back({std::move(name), at});
+}
+
+void TraceExporter::on_task_started(const Engine& engine, TaskId task,
+                                    SlotId slot) {
+  const std::string* tenant =
+      tenant_of_ ? tenant_of_(task.stage.job) : nullptr;
+  record_task_started(engine.sim().now(), task, slot,
+                      engine.job_name(task.stage.job),
+                      tenant != nullptr ? *tenant : std::string());
+}
+
 void TraceExporter::on_task_finished(const Engine& engine, TaskId task,
                                      SlotId slot) {
-  close_attempt(task, slot, engine.sim().now(), /*killed=*/false);
+  record_task_finished(engine.sim().now(), task, slot);
 }
 
 void TraceExporter::on_task_killed(const Engine& engine, TaskId task,
                                    SlotId slot) {
-  close_attempt(task, slot, engine.sim().now(), /*killed=*/true);
+  record_task_killed(engine.sim().now(), task, slot);
 }
 
 void TraceExporter::on_job_submitted(const Engine& engine, JobId job) {
-  instants_.push_back(
-      {"submit " + engine.job_name(job), engine.sim().now()});
+  record_instant("submit " + engine.job_name(job), engine.sim().now());
 }
 
 void TraceExporter::on_job_finished(const Engine& engine, JobId job) {
-  instants_.push_back(
-      {"finish " + engine.job_name(job), engine.sim().now()});
+  record_instant("finish " + engine.job_name(job), engine.sim().now());
 }
 
 void TraceExporter::write_json(std::ostream& os) const {
@@ -89,6 +98,14 @@ void TraceExporter::write_json(std::ostream& os) const {
     if (!first) os << ",";
     first = false;
   };
+  // Name the process tracks up front (metadata events); the viewer then
+  // groups each tenant's slot timelines under its own named process.
+  for (std::uint32_t pid = 0; pid < tracks_.size(); ++pid) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(tracks_[pid])
+       << "\"}}";
+  }
   for (const Attempt& a : events_) {
     std::ostringstream name;
     name << a.job_name << " " << a.task;
@@ -97,8 +114,8 @@ void TraceExporter::write_json(std::ostream& os) const {
     sep();
     os << "{\"name\":\"" << json_escape(name.str())
        << "\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":" << to_us(a.start)
-       << ",\"dur\":" << to_us(end - a.start)
-       << ",\"pid\":0,\"tid\":" << a.slot.v << ",\"args\":{\"attempt\":"
+       << ",\"dur\":" << to_us(end - a.start) << ",\"pid\":" << a.track
+       << ",\"tid\":" << a.slot.v << ",\"args\":{\"attempt\":"
        << a.task.attempt << ",\"killed\":" << (a.killed ? "true" : "false")
        << "}}";
   }

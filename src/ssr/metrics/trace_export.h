@@ -1,14 +1,25 @@
 // Chrome-tracing (catapult) export of a simulated run.
 //
-// TraceExporter is an EngineObserver that records every task attempt as a
-// complete event ("ph":"X") on a track per slot, so a run can be loaded
-// into chrome://tracing or https://ui.perfetto.dev and inspected visually:
-// barriers show up as vertical cliffs, reservations as gaps on otherwise
-// busy slot tracks, straggler copies as overlapping attempts of the same
-// task id.  Times are exported in microseconds (1 simulated second = 1 ms
-// of trace time keeps hour-long simulations navigable).
+// TraceExporter records every task attempt as a complete event ("ph":"X")
+// on a track per slot, so a run can be loaded into chrome://tracing or
+// https://ui.perfetto.dev and inspected visually: barriers show up as
+// vertical cliffs, reservations as gaps on otherwise busy slot tracks,
+// straggler copies as overlapping attempts of the same task id.  Times are
+// exported in microseconds (1 simulated second = 1 ms of trace time keeps
+// hour-long simulations navigable).
+//
+// Two feeding modes share one record_* core:
+//   * live — the EngineObserver callbacks pull names (and, when a tenant
+//     resolver is installed, tenants) from the engine;
+//   * replay — metrics/trace_capture.h's TraceExportFeeder re-drives the
+//     same record_* calls from a captured event stream, no Engine involved.
+// Tenanted attempts land on a per-tenant process track ("pid"), so fig15-
+// scale open-system runs separate cleanly by tenant in the trace viewer;
+// untenanted runs keep everything on the default "cluster" process.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -28,10 +39,29 @@ class TraceExporter : public EngineObserver {
   void on_job_submitted(const Engine& engine, JobId job) override;
   void on_job_finished(const Engine& engine, JobId job) override;
 
+  /// Resolve a job to its tenant track in live (observer) mode; nullptr or
+  /// unset = default "cluster" track.
+  void set_tenant_resolver(std::function<const std::string*(JobId)> resolver) {
+    tenant_of_ = std::move(resolver);
+  }
+
+  // --- Engine-free core (replay feeding) -----------------------------------
+
+  /// `tenant` empty = default track.  The attempt stays open until a
+  /// matching record_task_finished/killed.
+  void record_task_started(SimTime now, TaskId task, SlotId slot,
+                           std::string job_name, const std::string& tenant);
+  void record_task_finished(SimTime now, TaskId task, SlotId slot);
+  void record_task_killed(SimTime now, TaskId task, SlotId slot);
+  /// Global instant marker (job submit/finish milestones).
+  void record_instant(std::string name, SimTime at);
+
   /// Write the collected events as a Chrome trace JSON document.
   void write_json(std::ostream& os) const;
 
   std::size_t event_count() const { return events_.size(); }
+  /// Process-track names, indexed by pid (track 0 is "cluster").
+  const std::vector<std::string>& tracks() const { return tracks_; }
 
  private:
   struct Attempt {
@@ -41,6 +71,7 @@ class TraceExporter : public EngineObserver {
     SimTime end = -1.0;  ///< -1 while running
     bool killed = false;
     std::string job_name;
+    std::uint32_t track = 0;  ///< pid: index into tracks_
   };
   struct Instant {
     std::string name;
@@ -48,10 +79,14 @@ class TraceExporter : public EngineObserver {
   };
 
   void close_attempt(TaskId task, SlotId slot, SimTime at, bool killed);
+  std::uint32_t track_of(const std::string& tenant);
 
+  std::function<const std::string*(JobId)> tenant_of_;
   std::map<TaskId, std::size_t> open_;  ///< running attempt -> index
   std::vector<Attempt> events_;
   std::vector<Instant> instants_;
+  std::vector<std::string> tracks_{"cluster"};
+  std::map<std::string, std::uint32_t> track_index_;
 };
 
 }  // namespace ssr

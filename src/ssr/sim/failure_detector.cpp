@@ -1,0 +1,208 @@
+#include "ssr/sim/failure_detector.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "ssr/common/check.h"
+#include "ssr/common/rng.h"
+
+namespace ssr {
+namespace {
+
+/// Target key with deterministic ordering: all nodes (by id) before all
+/// slots (by id) — the per-target Rng fork order depends on it.
+struct TargetKey {
+  FailureEvent::Scope scope;
+  std::uint32_t id;
+
+  bool operator<(const TargetKey& other) const {
+    if (scope != other.scope) {
+      return scope == FailureEvent::Scope::Node;
+    }
+    return id < other.id;
+  }
+};
+
+/// Effective ground-truth down intervals of one target, [fail, recover),
+/// non-overlapping and sorted.  Reproduces the injector's idempotent
+/// semantics: failing an already-dead target and recovering an alive one are
+/// no-ops, so overlapping windows merge and the earliest recovery wins.
+std::vector<std::pair<SimTime, SimTime>> down_intervals(
+    const std::vector<FailureEvent>& events) {
+  struct Point {
+    SimTime at;
+    bool fail;
+    std::size_t seq;  ///< schedule order, the same-instant tie-break
+  };
+  std::vector<Point> points;
+  points.reserve(events.size() * 2);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    points.push_back({events[i].fail_at, true, 2 * i});
+    if (events[i].recover_at < kTimeInfinity) {
+      points.push_back({events[i].recover_at, false, 2 * i + 1});
+    }
+  }
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  });
+  std::vector<std::pair<SimTime, SimTime>> intervals;
+  bool dead = false;
+  SimTime down_since = 0.0;
+  for (const Point& p : points) {
+    if (p.fail && !dead) {
+      dead = true;
+      down_since = p.at;
+    } else if (!p.fail && dead) {
+      dead = false;
+      if (p.at > down_since) intervals.emplace_back(down_since, p.at);
+    }
+  }
+  if (dead) intervals.emplace_back(down_since, kTimeInfinity);
+  return intervals;
+}
+
+/// Scan one target's heartbeat timeline and append its suspicion windows.
+void detect_target(const TargetKey& target,
+                   const std::vector<std::pair<SimTime, SimTime>>& downs,
+                   const FailureDetectorConfig& config, bool noisy, Rng rng,
+                   SimTime truth_end, std::vector<SuspicionRecord>& out) {
+  const SimDuration period = config.heartbeat_period;
+  const SimTime noise_end = noisy ? config.noise_horizon : 0.0;
+  // Beats matter while truth windows or channel noise can still change the
+  // detector's mind; past this point an un-suspected target stays clean.
+  const SimTime interest_end = std::max(truth_end, noise_end);
+
+  std::size_t interval = 0;  ///< first down interval with recover > t
+  std::uint32_t missed = 0;
+  bool suspected = false;
+  SuspicionRecord current;
+
+  for (std::uint64_t k = 1;; ++k) {
+    const SimTime t = static_cast<double>(k) * period;
+
+    while (interval < downs.size() && downs[interval].second <= t) ++interval;
+    const bool dead =
+        interval < downs.size() && downs[interval].first <= t;
+
+    // Past the last point of interest an alive, un-suspected target can
+    // never change state again.  (Dead here means an unbounded interval: the
+    // missed-beat counter keeps running until the suspicion closes it.)
+    if (!suspected && !dead && t > interest_end) break;
+
+    // Draw per beat (not per delivered beat) so a target's noise pattern is
+    // a function of the beat index alone, independent of the truth windows.
+    const bool lost =
+        noisy && t <= noise_end && rng.bernoulli(config.heartbeat_loss);
+
+    if (!dead && !lost) {
+      if (suspected) {
+        current.cleared_at = t;
+        out.push_back(current);
+        suspected = false;
+      }
+      missed = 0;
+    } else {
+      ++missed;
+      if (!suspected && missed >= config.timeout_beats) {
+        suspected = true;
+        current = SuspicionRecord{};
+        current.scope = target.scope;
+        current.id = target.id;
+        current.suspected_at = t;
+        current.truth_fail_at = dead ? downs[interval].first : -1.0;
+      }
+      // A permanent truth failure never beats again: the suspicion window is
+      // final, so close it as unbounded instead of looping forever.
+      if (suspected && dead && downs[interval].second >= kTimeInfinity) {
+        current.cleared_at = kTimeInfinity;
+        out.push_back(current);
+        suspected = false;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DetectionOutcome detect_failures(const FailureSchedule& truth,
+                                 const FailureDetectorConfig& config,
+                                 std::uint32_t num_nodes) {
+  DetectionOutcome outcome;
+  if (!config.enabled()) {
+    // Instantaneous detection: the engine believes the truth the moment it
+    // happens — PR5 semantics, byte-identical event streams.
+    outcome.detected = truth;
+    return outcome;
+  }
+  SSR_CHECK_MSG(config.timeout_beats >= 1, "timeout_beats must be >= 1");
+  SSR_CHECK_MSG(
+      config.heartbeat_loss >= 0.0 && config.heartbeat_loss < 1.0,
+      "heartbeat_loss must lie in [0, 1) — a fully-lossy channel never "
+      "clears a suspicion");
+  SSR_CHECK_MSG(config.noise_horizon >= 0.0,
+                "noise_horizon must be non-negative");
+
+  // Monitored targets, in deterministic order.  Noisy channels can fabricate
+  // suspicions on nodes the truth never touches, so with noise on, every
+  // node except the reliable node 0 is monitored; without noise, only truth
+  // targets can ever be suspected.
+  std::map<TargetKey, std::vector<FailureEvent>> targets;
+  SimTime truth_end = 0.0;
+  for (const FailureEvent& e : truth.events) {
+    targets[{e.scope, e.id}].push_back(e);
+    truth_end = std::max(truth_end, e.fail_at);
+    if (e.recover_at < kTimeInfinity) {
+      truth_end = std::max(truth_end, e.recover_at);
+    }
+  }
+  const bool noise_on =
+      config.heartbeat_loss > 0.0 && config.noise_horizon > 0.0;
+  if (noise_on) {
+    for (std::uint32_t n = 1; n < num_nodes; ++n) {
+      targets.try_emplace({FailureEvent::Scope::Node, n});
+    }
+  }
+
+  // Auto-extend: with no explicit noise horizon, noise (if any) covers the
+  // truth window, so lossy beats can only stretch or fabricate suspicions
+  // while failures are actually in flight.
+  FailureDetectorConfig effective = config;
+  if (effective.noise_horizon == 0.0) effective.noise_horizon = truth_end;
+
+  Rng root(config.seed);
+  for (const auto& [key, events] : targets) {
+    const bool noisy = config.heartbeat_loss > 0.0 &&
+                       !(key.scope == FailureEvent::Scope::Node && key.id == 0);
+    // Fork unconditionally so each target's stream is a function of its
+    // position in the monitored set, not of which targets are noisy.
+    Rng stream = root.fork();
+    detect_target(key, down_intervals(events), effective, noisy,
+                  std::move(stream), truth_end, outcome.suspicions);
+  }
+
+  std::sort(outcome.suspicions.begin(), outcome.suspicions.end(),
+            [](const SuspicionRecord& a, const SuspicionRecord& b) {
+              if (a.suspected_at != b.suspected_at) {
+                return a.suspected_at < b.suspected_at;
+              }
+              if (a.scope != b.scope) {
+                return a.scope == FailureEvent::Scope::Node;
+              }
+              return a.id < b.id;
+            });
+  outcome.detected.events.reserve(outcome.suspicions.size());
+  for (const SuspicionRecord& s : outcome.suspicions) {
+    FailureEvent e;
+    e.scope = s.scope;
+    e.id = s.id;
+    e.fail_at = s.suspected_at;
+    e.recover_at = s.cleared_at;
+    outcome.detected.events.push_back(e);
+  }
+  return outcome;
+}
+
+}  // namespace ssr

@@ -1,0 +1,127 @@
+// Heartbeat-based failure detection over the deterministic fault-injection
+// layer.
+//
+// PR5's FailureInjector applies ground-truth failures the instant they
+// happen — an oracle no real cluster has.  Real schedulers learn about
+// failures from missed heartbeats: detection lags the truth by up to a
+// timeout window, short outages can go entirely unnoticed, and lossy
+// heartbeat channels produce *false suspicions* — nodes declared dead while
+// actually alive (cf. ray's heartbeat failure detector).
+//
+// The detector is a pure, deterministic schedule *transform*: it takes the
+// ground-truth FailureSchedule plus a detector configuration and returns the
+// schedule of what the scheduler would have *believed* — suspicion windows —
+// which is then fed, unchanged, to the ordinary FailureInjector/Engine
+// machinery.  The engine therefore acts on suspicion (kill-and-requeue,
+// reservation release, dead-time accounting), and a falsely-suspected
+// target's late "actually alive" evidence arrives as a recovery event,
+// reconciling through the same epoch guards that make true recoveries safe.
+// Because the transform is pure data -> data, detector runs stay exactly as
+// replayable as PR5 runs: same truth, config and seed give a bit-identical
+// detected schedule and hence a bit-identical event stream.
+//
+// Model: every monitored target emits a heartbeat each `heartbeat_period`
+// simulated seconds (beats at k * period, k = 1, 2, ...).  A beat is
+// delivered iff the target is truly alive at the beat instant and the beat
+// is not lost to channel noise (an independent per-target Bernoulli draw,
+// applied to beats up to `noise_horizon`).  After `timeout_beats`
+// consecutive missed beats the target is suspected — at the exact instant of
+// the timeout-th missed beat — and the suspicion clears at the next
+// delivered beat.  Consequences:
+//   * detection latency is bounded: suspected_at - fail_at <=
+//     timeout_beats * heartbeat_period (unit-tested);
+//   * outages shorter than the timeout window with no surrounding noise are
+//     never detected (the schedule window disappears);
+//   * pure noise can fabricate suspicion windows on healthy targets; they
+//     end at the first delivered beat.
+//
+// heartbeat_period == 0 disables the detector: the truth schedule passes
+// through verbatim (same vector, same order), reproducing PR5's
+// instantaneous-detection event streams byte for byte.
+//
+// NodeId 0's heartbeat channel is modeled as reliable (no noise), mirroring
+// make_random_node_failures' rule that node 0 never fails permanently: a
+// deterministic kernel of capacity survives, so chaos scenarios always
+// complete.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ssr/common/time.h"
+#include "ssr/sim/failure_injector.h"
+
+namespace ssr {
+
+struct FailureDetectorConfig {
+  /// Seconds between heartbeats; 0 = instantaneous detection (detector off,
+  /// truth passes through verbatim).
+  SimDuration heartbeat_period = 0.0;
+
+  /// Consecutive missed beats before a target is suspected (>= 1).
+  std::uint32_t timeout_beats = 3;
+
+  /// Per-beat probability that a heartbeat from a truly-alive target is lost
+  /// in the channel (seeded Bernoulli, independent per target).  Applied
+  /// only to beats at or before `noise_horizon`; later beats are delivered
+  /// reliably, so every false suspicion eventually clears.
+  double heartbeat_loss = 0.0;
+
+  /// Horizon for channel noise.  0 auto-extends to the last truth event
+  /// (noise is then only possible while failures are in flight); set it
+  /// explicitly to model a lossy channel over a whole open-system run.
+  SimTime noise_horizon = 0.0;
+
+  /// Seed of the noise stream; each monitored target draws from an
+  /// independent fork, so adding targets never perturbs existing draws.
+  std::uint64_t seed = 1;
+
+  bool enabled() const { return heartbeat_period > 0.0; }
+};
+
+/// One detector verdict: a contiguous window during which the target was
+/// suspected dead.  `truth_fail_at` < 0 marks a false suspicion (the target
+/// was alive the whole window).
+struct SuspicionRecord {
+  FailureEvent::Scope scope = FailureEvent::Scope::Node;
+  std::uint32_t id = 0;
+  SimTime suspected_at = 0.0;
+  /// First delivered beat after the suspicion; kTimeInfinity = never cleared
+  /// (permanent truth failure).
+  SimTime cleared_at = kTimeInfinity;
+  /// Ground-truth failure the suspicion detected, or -1 for false suspicion.
+  SimTime truth_fail_at = -1.0;
+
+  bool false_suspicion() const { return truth_fail_at < 0.0; }
+  /// Detection latency (suspicion minus truth); meaningless if false.
+  SimDuration latency() const { return suspected_at - truth_fail_at; }
+};
+
+/// What the detector concluded: the schedule the engine should act on, plus
+/// the per-window audit trail relating suspicion to ground truth.
+struct DetectionOutcome {
+  FailureSchedule detected;
+  std::vector<SuspicionRecord> suspicions;
+
+  std::uint64_t false_suspicions() const {
+    std::uint64_t n = 0;
+    for (const SuspicionRecord& s : suspicions) {
+      if (s.false_suspicion()) ++n;
+    }
+    return n;
+  }
+};
+
+/// Transform ground truth into the detected (believed) schedule.
+///
+/// `num_nodes` bounds the monitored node set: nodes 1..num_nodes-1 are
+/// subject to channel noise even when the truth schedule never touches them
+/// (a healthy node can be falsely suspected); node 0's channel is reliable.
+/// Slot-scope targets are monitored only when they appear in the truth
+/// schedule.  With config.enabled() == false the truth schedule is returned
+/// verbatim and no suspicions are recorded.
+DetectionOutcome detect_failures(const FailureSchedule& truth,
+                                 const FailureDetectorConfig& config,
+                                 std::uint32_t num_nodes);
+
+}  // namespace ssr

@@ -33,6 +33,7 @@
 #include "ssr/metrics/collectors.h"
 #include "ssr/sched/engine.h"
 #include "ssr/sched/virtual_cluster.h"
+#include "ssr/sim/failure_detector.h"
 #include "ssr/sim/failure_injector.h"
 #include "ssr/workload/mlbench.h"
 #include "ssr/workload/open_arrival.h"
@@ -139,9 +140,15 @@ std::unique_ptr<ReservationHook> make_hook(HookKind kind) {
 struct TrialOutcome {
   RecoveryStats recovery;
   std::uint64_t events_audited = 0;
+  std::uint64_t suspicions = 0;
+  std::uint64_t false_suspicions = 0;
 };
 
-TrialOutcome run_chaos_trial(const ChaosParams& p) {
+/// `detector` transforms the trial's ground-truth schedule into what the
+/// engine believes (sim/failure_detector.h); the default config passes the
+/// truth through verbatim, preserving the original chaos semantics.
+TrialOutcome run_chaos_trial(const ChaosParams& p,
+                             const FailureDetectorConfig& detector = {}) {
   SchedConfig cfg;
   cfg.locality_wait = p.locality_wait;
   Engine engine(cfg, p.nodes, p.slots_per_node, p.engine_seed);
@@ -152,7 +159,9 @@ TrialOutcome run_chaos_trial(const ChaosParams& p) {
   audit::InvariantAuditor auditor;  // throw_on_violation = true
   auditor.attach(engine);
 
-  FailureInjector injector(make_random_node_failures(p.failures));
+  const DetectionOutcome detection =
+      detect_failures(make_random_node_failures(p.failures), detector, p.nodes);
+  FailureInjector injector(detection.detected);
   injector.attach(engine.sim(), engine);
 
   std::vector<JobId> ids;
@@ -166,7 +175,9 @@ TrialOutcome run_chaos_trial(const ChaosParams& p) {
     EXPECT_TRUE(engine.job_finished(id)) << "job " << id << " never finished";
   }
   EXPECT_TRUE(auditor.clean()) << auditor.report();
-  return TrialOutcome{recovery.stats(), auditor.events_audited()};
+  return TrialOutcome{recovery.stats(), auditor.events_audited(),
+                      detection.suspicions.size(),
+                      detection.false_suspicions()};
 }
 
 TEST(Chaos, EveryJobCompletesAndAuditStaysCleanOn200FailureScenarios) {
@@ -193,6 +204,67 @@ TEST(Chaos, EveryJobCompletesAndAuditStaysCleanOn200FailureScenarios) {
   EXPECT_GT(totals.tasks_failed, 50u);
   EXPECT_GT(totals.tasks_requeued, 50u);
   EXPECT_GT(totals.stages_invalidated, 0u);
+}
+
+// --- Heartbeat-detector noise leg -------------------------------------------
+//
+// The same seeded chaos trials, but the engine no longer sees the truth: a
+// heartbeat detector with a lossy channel decides what it believes.  Late
+// detections, missed short outages and outright false suspicions (healthy
+// nodes killed on noise, then recovered when the channel clears) all flow
+// through the ordinary kill/requeue/epoch-guard machinery, so the liveness
+// and audit properties must survive unchanged.
+
+FailureDetectorConfig derive_detector(std::uint64_t trial) {
+  std::uint64_t s = 0xbea7f00dull ^ (trial * 0x2d1ull);
+  FailureDetectorConfig d;
+  d.heartbeat_period = 2.0 + static_cast<double>(splitmix64(s) % 4);
+  d.timeout_beats = 2 + static_cast<std::uint32_t>(splitmix64(s) % 2);
+  d.heartbeat_loss = 0.1 + static_cast<double>(splitmix64(s) % 3) * 0.1;
+  d.seed = 0xd07 + trial;
+  return d;
+}
+
+TEST(Chaos, DetectorNoiseRunsCompleteAndAuditStaysCleanOn100Trials) {
+  constexpr std::uint64_t kTrials = 100;
+  RecoveryStats totals;
+  std::uint64_t suspicions = 0, false_suspicions = 0;
+  for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+    const ChaosParams p = derive_params(trial);
+    FailureDetectorConfig d = derive_detector(trial);
+    // Channel noise covers the whole busy window, not just the truth span,
+    // so healthy nodes can be falsely suspected at any point of the run.
+    d.noise_horizon = p.failures.horizon;
+    SCOPED_TRACE("detector trial " + std::to_string(trial) + " (hook kind " +
+                 std::to_string(static_cast<int>(p.hook)) + ")");
+    const TrialOutcome outcome = run_chaos_trial(p, d);
+    ASSERT_GT(outcome.events_audited, 0u);
+    totals.slots_failed += outcome.recovery.slots_failed;
+    totals.slots_recovered += outcome.recovery.slots_recovered;
+    totals.tasks_failed += outcome.recovery.tasks_failed;
+    totals.tasks_requeued += outcome.recovery.tasks_requeued;
+    suspicions += outcome.suspicions;
+    false_suspicions += outcome.false_suspicions;
+  }
+  // The leg must actually exercise suspicion-driven failures, including
+  // false ones — otherwise it degenerates into the truth-schedule sweep.
+  EXPECT_GT(suspicions, 100u);
+  EXPECT_GT(false_suspicions, 50u);
+  EXPECT_GT(totals.slots_failed, 100u);
+  EXPECT_GT(totals.tasks_requeued, 25u);
+}
+
+TEST(Chaos, DetectorNoiseRunsAreDeterministic) {
+  const ChaosParams p = derive_params(27);
+  FailureDetectorConfig d = derive_detector(27);
+  d.noise_horizon = p.failures.horizon;
+  const TrialOutcome a = run_chaos_trial(p, d);
+  const TrialOutcome b = run_chaos_trial(p, d);
+  EXPECT_EQ(a.events_audited, b.events_audited);
+  EXPECT_EQ(a.suspicions, b.suspicions);
+  EXPECT_EQ(a.false_suspicions, b.false_suspicions);
+  EXPECT_EQ(a.recovery.slots_failed, b.recovery.slots_failed);
+  EXPECT_EQ(a.recovery.tasks_requeued, b.recovery.tasks_requeued);
 }
 
 // --- Open-arrival x failure-schedule leg ------------------------------------

@@ -1,8 +1,11 @@
-// Tests for the Chrome-tracing exporter.
+// Tests for the Chrome-tracing exporter: live observer feeding, the
+// engine-free record_* core, per-tenant process tracks, and JSON hygiene
+// (empty runs, escaping, metadata events).
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <sstream>
+#include <string>
 
 #include "ssr/core/reservation_manager.h"
 #include "ssr/metrics/trace_export.h"
@@ -10,6 +13,12 @@
 
 namespace ssr {
 namespace {
+
+std::string export_json(const TraceExporter& trace) {
+  std::ostringstream os;
+  trace.write_json(os);
+  return os.str();
+}
 
 TEST(TraceExport, RecordsEveryAttemptAsCompleteEvent) {
   Engine engine(SchedConfig{}, 1, 2, 1);
@@ -66,6 +75,75 @@ TEST(TraceExport, EscapesJobNames) {
   std::ostringstream os;
   trace.write_json(os);
   EXPECT_NE(os.str().find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(TraceExport, EmptyRunWritesValidDocumentWithClusterTrack) {
+  // No events at all: still a well-formed document with the default process
+  // track's metadata, so a viewer opens it without complaint.
+  TraceExporter trace;
+  EXPECT_EQ(trace.event_count(), 0u);
+  const std::string json = export_json(trace);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"cluster\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+  ASSERT_EQ(trace.tracks().size(), 1u);
+  EXPECT_EQ(trace.tracks().front(), "cluster");
+}
+
+TEST(TraceExport, RecordCoreAssignsTenantTracks) {
+  // The engine-free record_* seam (what the capture replay feeder drives):
+  // tenanted attempts land on per-tenant process tracks, untenanted ones on
+  // track 0, and track ids are stable across repeats of the same tenant.
+  TraceExporter trace;
+  TaskId t0{{JobId{0}, 0}, 0, 0};
+  TaskId t1{{JobId{1}, 0}, 0, 0};
+  TaskId t2{{JobId{2}, 0}, 0, 0};
+  trace.record_task_started(1.0, t0, SlotId{0}, "a", "alpha");
+  trace.record_task_started(1.0, t1, SlotId{1}, "b", "beta");
+  trace.record_task_started(2.0, t2, SlotId{2}, "c", "");
+  trace.record_task_finished(4.0, t0, SlotId{0});
+  trace.record_task_finished(5.0, t1, SlotId{1});
+  trace.record_task_killed(6.0, t2, SlotId{2});
+  trace.record_instant("submit a", 0.5);
+
+  ASSERT_EQ(trace.tracks().size(), 3u);
+  EXPECT_EQ(trace.tracks()[0], "cluster");
+  EXPECT_EQ(trace.tracks()[1], "alpha");
+  EXPECT_EQ(trace.tracks()[2], "beta");
+  EXPECT_EQ(trace.event_count(), 3u);
+
+  const std::string json = export_json(trace);
+  // One process_name metadata record per track...
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"beta\""), std::string::npos);
+  // ...attempts carry their track as the pid...
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  // ...and the untenanted attempt stays on pid 0.
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"killed\":true"), std::string::npos);
+  EXPECT_NE(json.find("submit a"), std::string::npos);
+}
+
+TEST(TraceExport, LiveObserverUsesTenantResolver) {
+  Engine engine(SchedConfig{}, 1, 2, 1);
+  TraceExporter trace;
+  const std::string tenant = "svc";
+  trace.set_tenant_resolver(
+      [&tenant](JobId job) { return job.v == 0 ? &tenant : nullptr; });
+  engine.add_observer(&trace);
+  engine.submit(JobBuilder("metered").stage(1, fixed_duration(2.0)).build());
+  engine.submit(JobBuilder("plain").stage(1, fixed_duration(2.0)).build());
+  engine.run();
+
+  ASSERT_EQ(trace.tracks().size(), 2u);
+  EXPECT_EQ(trace.tracks()[1], "svc");
+  const std::string json = export_json(trace);
+  EXPECT_NE(json.find("\"name\":\"svc\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
 }
 
 }  // namespace

@@ -15,6 +15,10 @@ clang-tidy is unavailable, as in minimal CI containers):
   pragma-once      headers use #pragma once, not #ifndef guards.
   no-naked-new     raw `new` leaks on exceptions; use std::make_unique /
                    containers.
+  trace-schema     every EngineObserver callback (sched/types.h) must be
+                   serialized by the capture schema (metrics/trace_capture.h);
+                   otherwise record/replay silently drops the new event kind
+                   and replayed consumers diverge from live ones.
 
 Usage:
   tools/ssr_lint.py [paths...]       # default: src tests bench examples
@@ -90,6 +94,7 @@ RULES = {
     "unseeded-rng": "<random> engines must be constructed with an explicit seed",
     "pragma-once": "headers must use #pragma once, not #ifndef guards",
     "no-naked-new": "raw `new` forbidden; use std::make_unique or containers",
+    "trace-schema": "EngineObserver callbacks must be captured by trace_capture",
 }
 
 # (rule, regex, message) applied per stripped line.
@@ -145,6 +150,59 @@ def lint_file(path: Path) -> list[Finding]:
     return findings
 
 
+OBSERVER_HEADER = Path("src/ssr/sched/types.h")
+CAPTURE_HEADER = Path("src/ssr/metrics/trace_capture.h")
+CALLBACK_RE = re.compile(r"virtual\s+void\s+(on_\w+)\s*\(")
+
+
+def check_trace_schema(root: Path) -> list[Finding]:
+    """Whole-project rule: the capture schema must cover the observer seam.
+
+    The record/replay backbone (trace_capture_test, replay_verify, the chaos
+    determinism legs) only proves what the TraceRecorder serializes.  A new
+    EngineObserver callback that the capture never records would replay as if
+    the event never happened — live and replayed consumer state silently
+    diverge.  Flag every `virtual void on_*` declared in EngineObserver whose
+    name never appears in trace_capture.h, forcing the schema (and its
+    version bump) to be part of the same change.
+    """
+    observer_path = root / OBSERVER_HEADER
+    capture_path = root / CAPTURE_HEADER
+    findings: list[Finding] = []
+    if not observer_path.is_file() or not capture_path.is_file():
+        findings.append(Finding(
+            observer_path if not observer_path.is_file() else capture_path,
+            1, "trace-schema", "expected header is missing; was it moved "
+            "without updating tools/ssr_lint.py?"))
+        return findings
+
+    text = observer_path.read_text(encoding="utf-8", errors="replace")
+    begin = text.find("class EngineObserver")
+    if begin == -1:
+        findings.append(Finding(
+            observer_path, 1, "trace-schema",
+            "EngineObserver not found; update tools/ssr_lint.py"))
+        return findings
+    end = text.find("\n};", begin)
+    block = text[begin:end if end != -1 else len(text)]
+
+    capture = capture_path.read_text(encoding="utf-8", errors="replace")
+    captured = set(CALLBACK_RE.findall(capture))
+    captured.update(re.findall(r"\b(on_\w+)\s*\(", capture))
+
+    for m in CALLBACK_RE.finditer(block):
+        name = m.group(1)
+        if name in captured:
+            continue
+        lineno = text[: begin + m.start()].count("\n") + 1
+        findings.append(Finding(
+            observer_path, lineno, "trace-schema",
+            f"EngineObserver::{name} is not serialized by "
+            f"{CAPTURE_HEADER}; extend TraceEventKind/TraceRecorder (and "
+            "bump kTraceVersion) or replay will silently drop it"))
+    return findings
+
+
 def collect(paths: list[str]) -> list[Path]:
     files: list[Path] = []
     for arg in paths:
@@ -176,6 +234,7 @@ def main() -> int:
     files = collect(args.paths)
     for f in files:
         findings.extend(lint_file(f))
+    findings.extend(check_trace_schema(Path(__file__).resolve().parent.parent))
 
     for finding in findings:
         print(finding)
