@@ -81,7 +81,7 @@ class Rng {
     return x ^ (x >> 31);
   }
 
-  std::mt19937_64 engine_;  // ssr-lint: allow(unseeded-rng) — seeded in every ctor
+  std::mt19937_64 engine_;  // seeded (via splitmix64) in every constructor
   std::uint64_t base_seed_ = 0;
   std::uint64_t fork_counter_ = 1;
 };

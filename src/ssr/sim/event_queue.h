@@ -41,7 +41,7 @@ class UniqueCallback {
   };
   template <typename F>
   struct Model final : Concept {
-    explicit Model(F fn) : fn(std::move(fn)) {}
+    explicit Model(F f) : fn(std::move(f)) {}
     void call() override { fn(); }
     F fn;
   };

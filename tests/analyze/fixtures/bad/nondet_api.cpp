@@ -1,0 +1,31 @@
+// Seeded bugs: every nondeterministic-API hazard the AST rule covers —
+// rand(), wall-clock time(), std::random_device, a default-constructed
+// engine local, a never-seeded engine field, and a naked new.
+// Expected: ssr-analyze flags [nondet-api] six times.
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+struct Widget {
+  int v = 0;
+};
+
+class BadSampler {
+ public:
+  int draw() {
+    std::random_device rd;          // BAD: non-deterministic
+    std::mt19937 gen;               // BAD: hidden fixed seed
+    int r = rand();                 // BAD: unseeded global state
+    long t = time(nullptr);         // BAD: wall clock
+    Widget* w = new Widget();       // BAD: naked new
+    int out = r + static_cast<int>(t) + w->v + static_cast<int>(gen());
+    delete w;
+    return out + static_cast<int>(rd());
+  }
+
+ private:
+  std::mt19937_64 engine_;  // BAD: never seeded (no NSDMI, no ctor)
+};
+
+}  // namespace fixture

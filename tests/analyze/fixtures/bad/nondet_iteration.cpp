@@ -1,0 +1,35 @@
+// Seeded bug: iterating an unordered_map in a function that schedules
+// events.  Hash order leaks straight into the event stream.
+// Expected: ssr-analyze flags [nondet-iteration] on both loops.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+class Simulator {
+ public:
+  void schedule_at(double t, int payload);
+};
+
+class BadDispatcher {
+ public:
+  void flush() {
+    for (const auto& [id, weight] : pending_) {  // BAD: hash order
+      sim_.schedule_at(weight, id);
+    }
+  }
+
+  void flush_set() {
+    for (int id : dirty_) {  // BAD: hash order
+      sim_.schedule_at(0.0, id);
+    }
+  }
+
+ private:
+  Simulator sim_;
+  std::unordered_map<int, double> pending_;
+  std::unordered_set<int> dirty_;
+};
+
+}  // namespace fixture

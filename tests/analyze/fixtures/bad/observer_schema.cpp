@@ -1,0 +1,42 @@
+// Seeded bugs in a miniature observer/capture tree: EngineObserver declares
+// on_started and on_finished, but the recorder (a) never overrides
+// on_finished and (b) its on_started override records no TraceEventKind;
+// the replay auditor never handles kFinished.
+// Expected: ssr-analyze flags [observer-schema] at least three times.
+
+namespace fixture {
+
+enum class TraceEventKind { kStarted = 1, kFinished = 2 };
+
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void on_started(int id) {}
+  virtual void on_finished(int id) {}
+};
+
+class TraceRecorder : public EngineObserver {
+ public:
+  void on_started(int id) override {
+    last_ = id;  // BAD: no TraceEventKind recorded; event is dropped
+  }
+  // BAD: on_finished has no override at all.
+
+ private:
+  int last_ = 0;
+};
+
+class ReplayAuditor {
+ public:
+  void on_trace_event(TraceEventKind kind) {
+    if (kind == TraceEventKind::kStarted) {
+      seen_++;
+    }
+    // BAD: kFinished never handled; replay skips its transition.
+  }
+
+ private:
+  int seen_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Seeded bug: ordered containers keyed by raw pointers.  std::less on a
+// pointer orders by allocation address, which no two runs share.
+// Expected: ssr-analyze flags [pointer-keyed-order] on both declarations.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Task {
+  int id;
+};
+
+class BadRegistry {
+ public:
+  void note(Task* t, double weight) { weights_[t] = weight; }
+
+ private:
+  std::map<Task*, double> weights_;   // BAD: address-ordered traversal
+  std::set<const Task*> watched_;     // BAD: address-ordered traversal
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Seeded bugs around simulated-time arithmetic: a float in the tree, an
+// integer variable silently truncating a SimTime, and a SimTime computed
+// from integer division (quotient truncates before the conversion).
+// Expected: ssr-analyze flags [sim-time-arith] three times.
+#include <cstdint>
+
+namespace fixture {
+
+using SimTime = double;
+
+class Clock {
+ public:
+  SimTime now() const { return now_; }
+
+  void tick(SimTime deadline, int total_work, int workers) {
+    float lag = 0.25f;  // BAD: float where time flows
+    std::int64_t bucket = now_ + lag;  // BAD: truncates the timestamp
+    SimTime per_worker = total_work / workers;  // BAD: int division
+    now_ = deadline + per_worker + static_cast<SimTime>(bucket);
+  }
+
+ private:
+  SimTime now_ = 0.0;
+};
+
+}  // namespace fixture

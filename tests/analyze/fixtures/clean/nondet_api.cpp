@@ -1,0 +1,29 @@
+// Clean counterpart: seeds are explicit everywhere — engine field seeded in
+// the constructor init list, engine local seeded from a parameter, heap
+// allocation through make_unique.
+// Expected: ssr-analyze reports nothing.
+#include <cstdint>
+#include <memory>
+#include <random>
+
+namespace fixture {
+
+struct Widget {
+  int v = 0;
+};
+
+class CleanSampler {
+ public:
+  explicit CleanSampler(std::uint64_t seed) : engine_(seed) {}
+
+  int draw(std::uint64_t stream_seed) {
+    std::mt19937 gen(static_cast<std::uint32_t>(stream_seed));
+    auto w = std::make_unique<Widget>();
+    return static_cast<int>(gen()) + w->v + static_cast<int>(engine_());
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// Clean counterpart: ordered containers feed the event stream; the
+// unordered map is only ever used for point lookups, never iterated on a
+// path that reaches a sink.
+// Expected: ssr-analyze reports nothing.
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace fixture {
+
+class Simulator {
+ public:
+  void schedule_at(double t, int payload);
+};
+
+class CleanDispatcher {
+ public:
+  void flush() {
+    for (const auto& [id, weight] : pending_) {  // ordered: reproducible
+      sim_.schedule_at(weight, id);
+    }
+  }
+
+  void flush_set() {
+    for (int id : dirty_) {  // ordered: reproducible
+      sim_.schedule_at(0.0, id);
+    }
+  }
+
+  double lookup(int id) const {
+    auto it = cache_.find(id);  // point lookup only; never iterated
+    return it == cache_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  Simulator sim_;
+  std::map<int, double> pending_;
+  std::set<int> dirty_;
+  std::unordered_map<int, double> cache_;
+};
+
+}  // namespace fixture

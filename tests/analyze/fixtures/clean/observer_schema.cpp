@@ -1,0 +1,53 @@
+// Clean counterpart: every observer callback is overridden by the recorder
+// with a distinct TraceEventKind, mirrored by the live auditor, and every
+// kind is handled by the replay auditor.
+// Expected: ssr-analyze reports nothing.
+
+namespace fixture {
+
+enum class TraceEventKind { kStarted = 1, kFinished = 2 };
+
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void on_started(int id) {}
+  virtual void on_finished(int id) {}
+};
+
+class TraceRecorder : public EngineObserver {
+ public:
+  void on_started(int id) override {
+    record(TraceEventKind::kStarted, id);
+  }
+  void on_finished(int id) override {
+    record(TraceEventKind::kFinished, id);
+  }
+
+ private:
+  void record(TraceEventKind kind, int id);
+};
+
+class InvariantAuditor : public EngineObserver {
+ public:
+  void on_started(int id) override { open_ += id; }
+  void on_finished(int id) override { open_ -= id; }
+
+ private:
+  int open_ = 0;
+};
+
+class ReplayAuditor {
+ public:
+  void on_trace_event(TraceEventKind kind) {
+    if (kind == TraceEventKind::kStarted) {
+      seen_++;
+    } else if (kind == TraceEventKind::kFinished) {
+      seen_--;
+    }
+  }
+
+ private:
+  int seen_ = 0;
+};
+
+}  // namespace fixture

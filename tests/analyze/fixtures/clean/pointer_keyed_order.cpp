@@ -1,0 +1,23 @@
+// Clean counterpart: key by the task's stable id, keep pointers as mapped
+// values (a value is never a traversal key).
+// Expected: ssr-analyze reports nothing.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Task {
+  int id;
+};
+
+class CleanRegistry {
+ public:
+  void note(Task* t, double weight) { weights_[t->id] = weight; }
+
+ private:
+  std::map<int, double> weights_;  // id-keyed: reproducible order
+  std::map<int, Task*> by_id_;     // pointer is the value, not the key
+  std::set<int> watched_;
+};
+
+}  // namespace fixture

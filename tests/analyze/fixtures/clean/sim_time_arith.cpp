@@ -1,0 +1,26 @@
+// Clean counterpart: double end to end, explicit static_cast at every
+// deliberate narrowing, numerator promoted before the division.
+// Expected: ssr-analyze reports nothing.
+#include <cstdint>
+
+namespace fixture {
+
+using SimTime = double;
+
+class Clock {
+ public:
+  SimTime now() const { return now_; }
+
+  void tick(SimTime deadline, int total_work, int workers) {
+    double lag = 0.25;
+    std::int64_t bucket = static_cast<std::int64_t>(now_ + lag);
+    SimTime per_worker =
+        static_cast<double>(total_work) / workers;
+    now_ = deadline + per_worker + static_cast<SimTime>(bucket);
+  }
+
+ private:
+  SimTime now_ = 0.0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Stale-suppression fixture: both annotations below suppress nothing — one
+// sits on a perfectly clean line, the other names a rule that does not
+// exist.  Expected: ssr-analyze flags [stale-suppression] twice.
+#include <map>
+
+namespace fixture {
+
+class Ledger {
+ public:
+  void add(int id, double w) { weights_[id] = w; }
+
+ private:
+  std::map<int, double> weights_;  // ssr-analyze: allow(pointer-keyed-order)
+  double total_ = 0.0;  // ssr-analyze: allow(no-such-rule)
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Suppression fixture: each pattern below would be a finding, but carries a
+// justified allow annotation (same-line and line-above forms).
+// Expected: ssr-analyze reports nothing — and no stale-suppression either,
+// because every allow suppresses a live finding.
+#include <map>
+
+namespace fixture {
+
+struct Node {
+  int id;
+};
+
+class Arena {
+ public:
+  void reset() {
+    // ssr-analyze: allow(nondet-api)
+    Node* scratch = new Node();
+    scratch_ = scratch;
+  }
+
+ private:
+  Node* scratch_ = nullptr;
+  std::map<Node*, int> depth_;  // ssr-analyze: allow(pointer-keyed-order)
+};
+
+}  // namespace fixture

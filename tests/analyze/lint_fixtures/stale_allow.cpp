@@ -1,0 +1,11 @@
+// Lint fixture: both annotations are rot — one shields a clean line, the
+// other names a retired rule.  Each must trip [stale-suppression].
+
+namespace fixture {
+
+inline int clean() {
+  int v = 41;  // ssr-lint: allow(no-assert)
+  return v + 1;  // ssr-lint: allow(no-naked-new)
+}
+
+}  // namespace fixture

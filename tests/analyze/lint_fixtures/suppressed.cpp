@@ -1,0 +1,11 @@
+// Lint fixture: the allow annotation must silence [no-assert] — and must
+// not itself be reported as stale, because it suppresses a live finding.
+#include <cassert>
+
+namespace fixture {
+
+inline void check(int v) {
+  assert(v >= 0);  // ssr-lint: allow(no-assert)
+}
+
+}  // namespace fixture

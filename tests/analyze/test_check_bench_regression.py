@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_bench_regression.py exit-code contract.
+
+0 = clean, 1 = perf regression, 2 = schema problem, 3 = baseline key
+missing from the current reports.  Runs under ctest as
+`analyze.check_bench_regression`.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+CHECK = REPO / "tools" / "check_bench_regression.py"
+SCHEMA = "ssr-bench-sched-v1"
+
+
+def report(records):
+    return {"schema": SCHEMA,
+            "records": [{"name": n, "items_per_second": ips}
+                        for n, ips in records]}
+
+
+def run_check(baseline_doc, current_doc, *extra):
+    with tempfile.TemporaryDirectory() as td:
+        base = Path(td) / "baseline.json"
+        cur = Path(td) / "current.json"
+        base.write_text(json.dumps(baseline_doc))
+        cur.write_text(json.dumps(current_doc))
+        proc = subprocess.run(
+            [sys.executable, str(CHECK), "--baseline", str(base),
+             *extra, str(cur)],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout, proc.stderr
+
+
+class ExitCodes(unittest.TestCase):
+    def test_clean_run_exits_zero(self):
+        code, out, err = run_check(
+            report([("bench_a", 100.0), ("bench_b", 50.0)]),
+            report([("bench_a", 101.0), ("bench_b", 49.0)]))
+        self.assertEqual(code, 0, out + err)
+        self.assertIn("no perf regression", out)
+
+    def test_regression_exits_one(self):
+        code, out, err = run_check(
+            report([("bench_a", 100.0)]),
+            report([("bench_a", 40.0)]))
+        self.assertEqual(code, 1, out + err)
+        self.assertIn("REGRESSION", out)
+
+    def test_missing_baseline_key_exits_three_with_message(self):
+        code, out, err = run_check(
+            report([("bench_a", 100.0), ("bench_gone", 70.0)]),
+            report([("bench_a", 100.0)]))
+        self.assertEqual(code, 3, out + err)
+        self.assertIn("bench_gone", err)
+        self.assertIn("bench coverage shrank", err)
+
+    def test_missing_key_takes_priority_over_regression(self):
+        # Both failure modes at once: the distinct missing-key exit wins so
+        # CI logs show the coverage loss first (a regression report against
+        # partial coverage is not trustworthy anyway).
+        code, out, err = run_check(
+            report([("bench_a", 100.0), ("bench_gone", 70.0)]),
+            report([("bench_a", 40.0)]))
+        self.assertEqual(code, 3, out + err)
+
+    def test_wrong_schema_exits_two(self):
+        code, out, err = run_check(
+            {"schema": "bogus-v9", "records": []},
+            report([("bench_a", 100.0)]))
+        self.assertEqual(code, 2, out + err)
+        self.assertIn("expected schema", err)
+
+    def test_unreadable_report_exits_two(self):
+        with tempfile.TemporaryDirectory() as td:
+            base = Path(td) / "baseline.json"
+            cur = Path(td) / "current.json"
+            base.write_text(json.dumps(report([("bench_a", 1.0)])))
+            cur.write_text("{not json")
+            proc = subprocess.run(
+                [sys.executable, str(CHECK), "--baseline", str(base),
+                 str(cur)],
+                capture_output=True, text=True)
+            self.assertEqual(proc.returncode, 2, proc.stderr)
+
+    def test_new_records_are_informational_only(self):
+        code, out, err = run_check(
+            report([("bench_a", 100.0)]),
+            report([("bench_a", 100.0), ("bench_new", 5.0)]))
+        self.assertEqual(code, 0, out + err)
+        self.assertIn("bench_new", out)
+        self.assertIn("not checked", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

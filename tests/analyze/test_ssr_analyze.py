@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Fixture suite for tools/ssr_analyze.py.
+
+Every analyzer rule has a deliberately-broken fixture it must flag and a
+clean fixture it must pass; suppression, stale-suppression, the baseline
+workflow, and the repo-sweep fixture exclusion are covered too.  Runs under
+ctest as `analyze.ssr_analyze_fixtures` (stdlib unittest; no pytest
+dependency in the container).
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+ANALYZE = REPO / "tools" / "ssr_analyze.py"
+FIXTURES = REPO / "tests" / "analyze" / "fixtures"
+
+RULES = [
+    "nondet-iteration",
+    "pointer-keyed-order",
+    "lock-discipline",
+    "observer-schema",
+    "sim-time-arith",
+    "nondet-api",
+]
+
+# rule -> minimum number of findings its bad fixture must produce.
+EXPECTED_MIN = {
+    "nondet-iteration": 2,
+    "pointer-keyed-order": 2,
+    "lock-discipline": 1,
+    "observer-schema": 3,
+    "sim-time-arith": 3,
+    "nondet-api": 6,
+}
+
+
+def run_analyzer(*args):
+    """Returns (exit_code, findings list, raw stdout)."""
+    proc = subprocess.run(
+        [sys.executable, str(ANALYZE), "--json", "-", "--root", str(REPO),
+         *[str(a) for a in args]],
+        capture_output=True, text=True, cwd=REPO)
+    findings = []
+    if proc.stdout:
+        # --json - prints the JSON doc after the human lines; the doc is the
+        # last {...} block.
+        start = proc.stdout.find('{\n  "schema"')
+        if start != -1:
+            findings = json.loads(proc.stdout[start:])["findings"]
+    return proc.returncode, findings, proc.stdout + proc.stderr
+
+
+class BadFixturesAreFlagged(unittest.TestCase):
+    def check_bad(self, rule):
+        path = FIXTURES / "bad" / (rule.replace("-", "_") + ".cpp")
+        self.assertTrue(path.is_file(), f"missing fixture {path}")
+        code, findings, out = run_analyzer(path)
+        hits = [f for f in findings if f["rule"] == rule]
+        self.assertEqual(code, 1, f"{rule}: expected exit 1, got {code}\n{out}")
+        self.assertGreaterEqual(
+            len(hits), EXPECTED_MIN[rule],
+            f"{rule}: expected >= {EXPECTED_MIN[rule]} findings, "
+            f"got {len(hits)}\n{out}")
+        wrong = [f for f in findings if f["rule"] != rule]
+        self.assertEqual(
+            wrong, [], f"{rule}: unexpected cross-rule findings\n{out}")
+
+
+# One test method per rule so a broken rule names itself in the ctest log.
+for _rule in RULES:
+    def _make(rule):
+        return lambda self: self.check_bad(rule)
+    setattr(BadFixturesAreFlagged, f"test_{_rule.replace('-', '_')}",
+            _make(_rule))
+
+
+class CleanFixturesPass(unittest.TestCase):
+    def check_clean(self, rule):
+        path = FIXTURES / "clean" / (rule.replace("-", "_") + ".cpp")
+        self.assertTrue(path.is_file(), f"missing fixture {path}")
+        code, findings, out = run_analyzer(path)
+        self.assertEqual(code, 0, f"{rule}: clean fixture flagged\n{out}")
+        self.assertEqual(findings, [])
+
+
+for _rule in RULES:
+    def _make_clean(rule):
+        return lambda self: self.check_clean(rule)
+    setattr(CleanFixturesPass, f"test_{_rule.replace('-', '_')}",
+            _make_clean(_rule))
+
+
+class Suppressions(unittest.TestCase):
+    def test_allow_silences_finding(self):
+        code, findings, out = run_analyzer(FIXTURES / "suppressed.cpp")
+        self.assertEqual(code, 0, out)
+        self.assertEqual(findings, [])
+
+    def test_stale_allow_is_a_finding(self):
+        code, findings, out = run_analyzer(FIXTURES / "stale_allow.cpp")
+        self.assertEqual(code, 1, out)
+        stale = [f for f in findings if f["rule"] == "stale-suppression"]
+        self.assertEqual(len(stale), 2, out)
+        messages = " ".join(f["message"] for f in stale)
+        self.assertIn("no-such-rule", messages)
+
+
+class BaselineWorkflow(unittest.TestCase):
+    def test_baselined_findings_do_not_fail(self):
+        bad = FIXTURES / "bad" / "nondet_api.cpp"
+        with tempfile.TemporaryDirectory() as td:
+            baseline = Path(td) / "baseline.json"
+            proc = subprocess.run(
+                [sys.executable, str(ANALYZE), "--root", str(REPO),
+                 "--baseline", str(baseline), "--update-baseline", str(bad)],
+                capture_output=True, text=True, cwd=REPO)
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            doc = json.loads(baseline.read_text())
+            self.assertEqual(doc["schema"], "ssr-analyze-baseline-v1")
+            self.assertGreater(len(doc["findings"]), 0)
+
+            # Same findings, now baselined: the run is clean.
+            code, findings, out = run_analyzer(
+                "--baseline", baseline, bad)
+            self.assertEqual(code, 0, out)
+            self.assertTrue(all(f["baselined"] for f in findings), out)
+
+    def test_unknown_baseline_schema_is_usage_error(self):
+        with tempfile.TemporaryDirectory() as td:
+            baseline = Path(td) / "baseline.json"
+            baseline.write_text('{"schema": "bogus-v0", "findings": []}')
+            proc = subprocess.run(
+                [sys.executable, str(ANALYZE), "--root", str(REPO),
+                 "--baseline", str(baseline),
+                 str(FIXTURES / "clean" / "nondet_api.cpp")],
+                capture_output=True, text=True, cwd=REPO)
+            self.assertEqual(proc.returncode, 2, proc.stderr)
+
+
+class RepoSweep(unittest.TestCase):
+    def test_fixture_corpus_is_excluded_from_sweeps(self):
+        # A directory sweep over tests/ must skip the deliberately-broken
+        # corpus — if it didn't, the seeded bugs above would all fire here.
+        code, findings, out = run_analyzer("tests")
+        self.assertEqual(code, 0, out)
+        self.assertEqual([f for f in findings if not f["baselined"]], [])
+
+    def test_committed_baseline_is_empty(self):
+        # The tree itself must be clean: true positives get fixed, not
+        # baselined away (the committed baseline only absorbs genuinely
+        # disputed findings, and today there are none).
+        doc = json.loads(
+            (REPO / "tools" / "ssr_analyze_baseline.json").read_text())
+        self.assertEqual(doc["schema"], "ssr-analyze-baseline-v1")
+        self.assertEqual(doc["findings"], [])
+
+    def test_list_rules(self):
+        proc = subprocess.run(
+            [sys.executable, str(ANALYZE), "--list-rules"],
+            capture_output=True, text=True, cwd=REPO)
+        self.assertEqual(proc.returncode, 0)
+        for rule in RULES + ["stale-suppression"]:
+            self.assertIn(rule, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fixture suite for tools/ssr_lint.py.
+
+Asserts each regex rule fires on its lint_fixtures/ seed, each
+`ssr-lint: allow` suppression holds, and the stale-suppression audit trips
+on rotted annotations.  Runs under ctest as `analyze.ssr_lint_fixtures`.
+"""
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+LINT = REPO / "tools" / "ssr_lint.py"
+FIXTURES = REPO / "tests" / "analyze" / "lint_fixtures"
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, str(LINT), *[str(a) for a in args]],
+        capture_output=True, text=True, cwd=REPO)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+class RulesFire(unittest.TestCase):
+    def test_no_assert_fires_for_assert_and_abort(self):
+        code, out, _ = run_lint(FIXTURES / "bad_assert.cpp")
+        self.assertEqual(code, 1, out)
+        self.assertEqual(out.count("[no-assert]"), 2, out)
+
+    def test_pragma_once_fires_for_ifndef_guard(self):
+        code, out, _ = run_lint(FIXTURES / "bad_guard.h")
+        self.assertEqual(code, 1, out)
+        self.assertIn("[pragma-once]", out)
+        self.assertIn("#ifndef guard", out)
+
+
+class SuppressionsHold(unittest.TestCase):
+    def test_allow_silences_no_assert(self):
+        code, out, _ = run_lint(FIXTURES / "suppressed.cpp")
+        self.assertEqual(code, 0, out)
+        self.assertEqual(out, "")
+
+    def test_stale_allows_are_findings(self):
+        code, out, _ = run_lint(FIXTURES / "stale_allow.cpp")
+        self.assertEqual(code, 1, out)
+        self.assertEqual(out.count("[stale-suppression]"), 2, out)
+        # One names a retired rule, one shields a clean line.
+        self.assertIn("no-naked-new", out)
+        self.assertIn("suppresses nothing", out)
+
+
+class CleanAndSweep(unittest.TestCase):
+    def test_clean_header_passes(self):
+        code, out, _ = run_lint(FIXTURES / "clean.h")
+        self.assertEqual(code, 0, out)
+
+    def test_repo_sweep_is_clean_and_skips_fixtures(self):
+        # The default sweep (src tests bench examples) must skip both fixture
+        # corpora — the seeded assert/guard bugs above would fail it
+        # otherwise — and the tree itself must lint clean.
+        code, out, err = run_lint()
+        self.assertEqual(code, 0, out + err)
+
+    def test_list_rules(self):
+        code, out, _ = run_lint("--list-rules")
+        self.assertEqual(code, 0)
+        for rule in ("no-assert", "pragma-once", "stale-suppression"):
+            self.assertIn(rule, out)
+        # Retired regex rules must be gone (AST versions live in
+        # ssr_analyze.py now).
+        for retired in ("no-wall-clock", "unseeded-rng", "no-naked-new",
+                        "trace-schema"):
+            self.assertNotIn(retired, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -31,7 +31,7 @@ struct GoldenScenario {
   std::string name;  ///< test-facing name, e.g. "fig12"
   std::string file;  ///< committed digest under tests/golden/
   ClusterSpec cluster;
-  std::vector<GoldenPass> passes;
+  std::vector<GoldenPass> passes{};
 };
 
 // Fig. 12 shape: 50x2 cluster, trace background, one high-priority KMeans

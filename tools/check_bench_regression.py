@@ -12,7 +12,14 @@ baseline value.  New records only present in the current reports are
 reported informationally and do not fail the check — commit a refreshed
 baseline to start tracking them.
 
-Exit status: 0 = no regression, 1 = regression or schema problem.
+Exit status:
+    0 = no regression
+    1 = throughput regression beyond the threshold
+    2 = schema problem (unreadable report, wrong schema version)
+    3 = baseline key missing from the current reports (bench coverage
+        shrank — a renamed/deleted bench, or a report that was never
+        generated; distinct from a perf regression so CI logs show
+        immediately *which* failure mode it is)
 """
 import argparse
 import json
@@ -20,12 +27,23 @@ import sys
 
 SCHEMA = "ssr-bench-sched-v1"
 
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_SCHEMA = 2
+EXIT_MISSING_KEY = 3
+
 
 def load_records(path):
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: unreadable bench report: {e}", file=sys.stderr)
+        sys.exit(EXIT_SCHEMA)
     if doc.get("schema") != SCHEMA:
-        sys.exit(f"{path}: expected schema '{SCHEMA}', got {doc.get('schema')!r}")
+        print(f"{path}: expected schema '{SCHEMA}', got "
+              f"{doc.get('schema')!r}", file=sys.stderr)
+        sys.exit(EXIT_SCHEMA)
     return {rec["name"]: rec for rec in doc.get("records", [])}
 
 
@@ -47,10 +65,11 @@ def main():
         current.update(load_records(path))
 
     failures = []
+    missing = []
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
         if cur is None:
-            failures.append(f"{name}: present in baseline but not measured")
+            missing.append(name)
             continue
         base_ips = float(base.get("items_per_second", 0.0))
         cur_ips = float(cur.get("items_per_second", 0.0))
@@ -71,13 +90,22 @@ def main():
     for name in sorted(set(current) - set(baseline)):
         print(f"        new  {name}: not in baseline (not checked)")
 
+    if missing:
+        print("\nbaseline records missing from the current reports:",
+              file=sys.stderr)
+        for name in missing:
+            print(f"  - {name}: present in {args.baseline} but not measured "
+                  "— bench coverage shrank; run the bench or refresh the "
+                  "baseline deliberately", file=sys.stderr)
+        return EXIT_MISSING_KEY
+
     if failures:
         print("\nperf regressions detected:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
-        return 1
+        return EXIT_REGRESSION
     print("\nno perf regression beyond threshold")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

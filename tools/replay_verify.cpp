@@ -13,7 +13,7 @@
 //   replay_verify <capture.trace> <digest-title> <expected.golden>
 //
 // e.g. the audited CI leg runs:
-//   replay_verify tests/golden/failure_recovery.trace \
+//   replay_verify tests/golden/failure_recovery.trace
 //       failure/ssr+mitigation tests/golden/failure_recovery.golden
 //
 // Exit status: 0 verified, 1 mismatch/violation, 2 usage or unreadable

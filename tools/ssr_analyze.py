@@ -1,0 +1,1989 @@
+#!/usr/bin/env python3
+"""AST-grounded determinism & concurrency static analyzer for the SSR tree.
+
+Every correctness guarantee this reproduction makes rests on bit-identical
+determinism: golden-replay digests, the 200-scenario differential suite, the
+open-vs-closed equivalence suite and the trace round-trips all compare byte
+streams.  The runtime suites *sample* nondeterminism; this pass proves the
+structural sources of it absent before code lands.  Unlike tools/ssr_lint.py
+(line regexes for textual conventions), every rule here runs over a parsed
+representation of the code: class/field/method structure, local variable
+types, range-for iteration targets resolved through member and call chains,
+lock_guard scopes, and a cross-TU call graph.
+
+Rules (see DESIGN.md §12 for the hazard-class -> runtime-suite mapping):
+
+  nondet-iteration    iterating a std::unordered_map/std::unordered_set in a
+                      function that (transitively) reaches EngineObserver
+                      dispatch, event scheduling, or digest/trace emission.
+                      Hash iteration order is stdlib- and history-dependent;
+                      feeding it into the observer stream breaks replay.
+  pointer-keyed-order std::map/std::set (or multi-variants) keyed by a raw
+                      pointer: traversal order is allocation order, which no
+                      two runs share.
+  lock-discipline     a field of a mutex-holding class accessed both under a
+                      lock_guard/unique_lock/scoped_lock of that mutex and
+                      outside any lock region (constructors/destructors are
+                      exempt: single-threaded by contract).  Race candidates
+                      for the sharded engine.
+  observer-schema     AST-accurate replacement for the retired regex
+                      trace-schema lint: every virtual on_* of EngineObserver
+                      must be overridden+serialized by TraceRecorder (with a
+                      distinct TraceEventKind) and mirrored by the
+                      SlotLedger-reachable audit paths (InvariantAuditor
+                      override; ReplayAuditor handling of the kind).
+  sim-time-arith      float where simulated time flows (SimTime is double;
+                      float truncates event timestamps), integer variables
+                      assigned from time-typed expressions without an
+                      explicit cast, and SimTime computed by integer/integer
+                      division (silent truncation).
+  nondet-api          AST-level versions of the retired regex lints:
+                      rand/srand/time(nullptr) calls, std::random_device,
+                      default-constructed <random> engines (including
+                      never-seeded engine fields), and naked `new`.
+
+Usage:
+  tools/ssr_analyze.py [paths...]        # default: src tools bench examples
+  tools/ssr_analyze.py --json out.json --baseline tools/ssr_analyze_baseline.json
+  tools/ssr_analyze.py --list-rules
+  tools/ssr_analyze.py --update-baseline
+
+Suppress a finding with `// ssr-analyze: allow(<rule>)` on the finding line
+or on a comment line directly above it.  An allow that suppresses nothing is
+itself a finding (stale-suppression), so annotations cannot rot.
+
+Findings already recorded in the committed baseline file do not fail the run;
+anything new does.  Exit status: 0 clean, 1 new findings, 2 usage error.
+
+Frontends: the built-in pure-python structural frontend is canonical — it is
+hermetic, deterministic, and what CI gates on.  With python clang bindings
+installed (CI pins `pip install libclang==14.0.6`), `--frontend=clang` lowers
+libclang cursors over compile_commands.json into the same IR as a cross-check
+that the structural parse agrees with a real compiler frontend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+CXX_SUFFIXES = {".h", ".hpp", ".cpp", ".cc", ".cxx"}
+
+# Directories whose contents are deliberately-broken analyzer fixtures; never
+# part of a repo sweep (tests/analyze/test_ssr_analyze.py points the analyzer
+# at them explicitly).
+SKIP_DIR_PARTS = ("tests/analyze/fixtures", "tests/analyze/lint_fixtures")
+
+ALLOW_RE = re.compile(r"//\s*ssr-analyze:\s*allow\(([a-z0-9-]+)\)")
+
+RULES = {
+    "nondet-iteration":
+        "no unordered-container iteration on paths that feed observers, "
+        "events, or digests",
+    "pointer-keyed-order":
+        "no std::map/std::set keyed by raw pointers (address order is not "
+        "reproducible)",
+    "lock-discipline":
+        "fields guarded by a mutex must be guarded at every access "
+        "(ctors/dtors exempt)",
+    "observer-schema":
+        "every EngineObserver callback must be serialized by TraceRecorder "
+        "and mirrored by the SlotLedger audit paths",
+    "sim-time-arith":
+        "no float / implicit narrowing / int-division where simulated time "
+        "flows",
+    "nondet-api":
+        "no wall-clock, unseeded <random> engines, std::random_device, or "
+        "naked new",
+    "stale-suppression":
+        "an ssr-analyze: allow(...) annotation must suppress a finding",
+}
+
+
+# --------------------------------------------------------------------------
+# Lexer
+# --------------------------------------------------------------------------
+
+@dataclass
+class Token:
+    kind: str  # 'id', 'num', 'str', 'chr', 'punct'
+    value: str
+    line: int
+
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+# Longest-match punctuation that matters for parsing decisions.
+_PUNCT3 = {"->*", "<<=", ">>=", "...", "<=>"}
+_PUNCT2 = {"::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+           "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--"}
+
+
+def lex(text: str) -> list[Token]:
+    """Tokenize C++ source: comments dropped, strings/chars collapsed to one
+    token each, preprocessor lines dropped (includes recorded elsewhere)."""
+    tokens: list[Token] = []
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+        elif c in " \t\r":
+            i += 1
+        elif c == "/" and text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+        elif c == "/" and text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            line += text.count("\n", i, j)
+            i = j
+        elif c == "#":
+            # Preprocessor directive: skip to end of (possibly continued) line.
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                if k == -1:
+                    j = n
+                    break
+                if text[k - 1] == "\\":
+                    j = k + 1
+                else:
+                    j = k
+                    break
+            line += text.count("\n", i, j)
+            i = j
+        elif c == "R" and text.startswith('R"', i):
+            # Raw string literal R"delim(...)delim"
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if m:
+                end = text.find(")" + m.group(1) + '"', i + m.end())
+                end = n if end == -1 else end + len(m.group(1)) + 2
+                line += text.count("\n", i, end)
+                tokens.append(Token("str", '""', line))
+                i = end
+            else:
+                tokens.append(Token("id", "R", line))
+                i += 1
+        elif c == '"' or c == "'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            tokens.append(Token("str" if c == '"' else "chr", text[i:j], line))
+            line += text.count("\n", i, j)
+            i = j
+        elif c in _ID_START:
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            tokens.append(Token("id", text[i:j], line))
+            i = j
+        elif c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j] in _ID_CONT or text[j] == "." or
+                             (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+        else:
+            for size, table in ((3, _PUNCT3), (2, _PUNCT2)):
+                if text[i:i + size] in table:
+                    tokens.append(Token("punct", text[i:i + size], line))
+                    i += size
+                    break
+            else:
+                tokens.append(Token("punct", c, line))
+                i += 1
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# IR
+# --------------------------------------------------------------------------
+
+@dataclass
+class VarDecl:
+    name: str
+    type_str: str
+    line: int
+    init: str = ""  # flattened initializer tokens ('' = none)
+
+
+@dataclass
+class RangeFor:
+    expr: list[Token]  # the iterated expression
+    line: int
+
+
+@dataclass
+class IterLoop:
+    base: list[Token]  # x in `x.begin()` classic-for iteration
+    line: int
+
+
+@dataclass
+class Call:
+    name: str            # unqualified callee
+    recv: list[Token]    # receiver expr tokens ('' for free calls)
+    line: int
+
+
+@dataclass
+class FieldAccess:
+    name: str
+    line: int
+    guarded_by: frozenset  # mutex field names whose lock regions cover it
+
+
+@dataclass
+class Assign:
+    target: str          # simple identifier target
+    rhs: list[Token]
+    line: int
+
+
+@dataclass
+class Method:
+    name: str
+    cls: str                  # '' for free functions
+    line: int
+    return_type: str = ""
+    is_virtual: bool = False
+    is_ctor: bool = False
+    is_dtor: bool = False
+    has_body: bool = False
+    params: list = field(default_factory=list)       # [VarDecl]
+    locals: list = field(default_factory=list)       # [VarDecl]
+    range_fors: list = field(default_factory=list)   # [RangeFor]
+    iter_loops: list = field(default_factory=list)   # [IterLoop]
+    calls: list = field(default_factory=list)        # [Call]
+    field_accesses: list = field(default_factory=list)
+    assigns: list = field(default_factory=list)      # [Assign]
+    new_lines: list = field(default_factory=list)    # [int]
+    ctor_inits: list = field(default_factory=list)   # [str] field names
+    path: str = ""
+
+    def key(self) -> str:
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+    def var_type(self, name: str) -> str:
+        for v in self.locals + self.params:
+            if v.name == name:
+                return v.type_str
+        return ""
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    line: int
+    path: str = ""
+    bases: list = field(default_factory=list)
+    fields: list = field(default_factory=list)   # [VarDecl]
+    methods: list = field(default_factory=list)  # [Method]
+    enums: dict = field(default_factory=dict)    # name -> [enumerators]
+
+    def field_type(self, name: str) -> str:
+        for f in self.fields:
+            if f.name == name:
+                return f.type_str
+        return ""
+
+
+@dataclass
+class FileIR:
+    path: Path
+    rel: str
+    lines: list
+    allows: dict            # line -> set of rule names
+    classes: list = field(default_factory=list)
+    functions: list = field(default_factory=list)  # free + member defs
+    enums: dict = field(default_factory=dict)
+    aliases: dict = field(default_factory=dict)    # using X = Y;
+
+
+@dataclass
+class Finding:
+    rel: str
+    line: int
+    rule: str
+    message: str
+
+    def text(self) -> str:
+        return f"{self.rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Structural parser (the canonical pure-python frontend)
+# --------------------------------------------------------------------------
+
+_KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "default", "return",
+    "break", "continue", "goto", "sizeof", "alignof", "new", "delete", "throw",
+    "try", "catch", "operator", "template", "typename", "using", "namespace",
+    "public", "private", "protected", "friend", "static_assert", "co_return",
+    "co_await", "co_yield", "this", "nullptr", "true", "false",
+}
+
+_TYPE_QUALIFIERS = {"const", "constexpr", "inline", "static", "mutable",
+                    "volatile", "virtual", "explicit", "friend", "typename",
+                    "thread_local", "extern", "register", "unsigned", "signed"}
+
+_LOCK_TYPES = ("lock_guard", "unique_lock", "scoped_lock", "shared_lock")
+
+
+def _match_angle(tokens, i):
+    """tokens[i] == '<'; return index just past the matching '>'."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        v = tokens[i].value
+        if v == "<":
+            depth += 1
+        elif v == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif v == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i + 1
+        elif v in (";", "{"):
+            return i  # not a template argument list after all
+        i += 1
+    return i
+
+
+def _match_paren(tokens, i, open_="(", close=")"):
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        v = tokens[i].value
+        if v == open_:
+            depth += 1
+        elif v == close:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def _flatten(tokens) -> str:
+    out = []
+    for t in tokens:
+        if out and out[-1] and out[-1][-1] in _ID_CONT and t.value and \
+                t.value[0] in _ID_CONT:
+            out.append(" ")
+        out.append(t.value)
+    return "".join(out)
+
+
+def _parse_type(tokens, i):
+    """Try to parse a type starting at i.  Returns (type_str, next_index) or
+    (None, i).  Accepts `const ns::Name<...>::Nested*&` shapes."""
+    start = i
+    n = len(tokens)
+    while i < n and tokens[i].kind == "id" and \
+            tokens[i].value in _TYPE_QUALIFIERS:
+        i += 1
+    if i < n and tokens[i].value == "::":
+        i += 1
+    if i >= n or tokens[i].kind != "id" or tokens[i].value in _KEYWORDS:
+        # `unsigned x` / `unsigned long x` style
+        if i > start and tokens[i - 1].value in ("unsigned", "signed"):
+            return "int", i
+        return None, start
+    i += 1
+    while i < n:
+        v = tokens[i].value
+        if v == "<":
+            i = _match_angle(tokens, i)
+        elif v == "::" and i + 1 < n and tokens[i + 1].kind == "id":
+            i += 2
+        elif v in ("*", "&", "&&"):
+            i += 1
+        elif v == "const":
+            i += 1
+        else:
+            break
+    return _flatten(tokens[start:i]), i
+
+
+_INT_TYPES = {
+    "int", "long", "short", "unsigned", "signed", "size_t", "std::size_t",
+    "ssize_t", "ptrdiff_t", "std::ptrdiff_t", "int8_t", "int16_t", "int32_t",
+    "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "std::int8_t", "std::int16_t", "std::int32_t", "std::int64_t",
+    "std::uint8_t", "std::uint16_t", "std::uint32_t", "std::uint64_t",
+    "std::uintmax_t", "std::intmax_t", "char", "bool",
+}
+
+_RNG_ENGINES = {
+    "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "ranlux24", "ranlux48", "ranlux24_base",
+    "ranlux48_base", "knuth_b",
+}
+
+
+class FileParser:
+    """One pass over a token stream building FileIR.
+
+    The walker tracks namespace/class/function nesting through braces.  It is
+    a structural parser, not a full C++ grammar: it recognizes exactly the
+    declaration shapes the rules need (classes, methods, fields, locals,
+    range-fors, lock guards, calls, assignments) and skips what it cannot
+    classify, erring on the side of *not* inventing structure.
+    """
+
+    def __init__(self, path: Path, rel: str, text: str):
+        self.ir = FileIR(path=path, rel=rel, lines=text.splitlines(),
+                         allows={}, enums={})
+        for lineno, raw in enumerate(self.ir.lines, start=1):
+            m = ALLOW_RE.search(raw)
+            if m:
+                self.ir.allows.setdefault(lineno, set()).add(m.group(1))
+        self.toks = lex(text)
+        # Bodies are parsed only after the whole structural pass, so a method
+        # defined above the class's field list (the project style) still sees
+        # every field.
+        self._pending_bodies = []  # (start, end, Method, ClassInfo|None)
+
+    # -- top level ----------------------------------------------------------
+
+    def parse(self) -> FileIR:
+        """Structural pass only; call finish() once every file in the
+        analysis set has been parsed, so out-of-line method bodies can see
+        the fields of classes declared in other files (headers)."""
+        self._scope(0, len(self.toks), cls=None)
+        return self.ir
+
+    def finish(self, class_index: dict):
+        for start, end, m, cls in self._pending_bodies:
+            if cls is None and m.cls:
+                cls = class_index.get(m.cls)
+            self._parse_body(start, end, m, cls)
+
+    def _scope(self, i, end, cls):
+        """Parse declarations in [i, end): namespace / class / enum /
+        function / field."""
+        toks = self.toks
+        while i < end:
+            t = toks[i]
+            v = t.value
+            if v in ("namespace",):
+                j = i + 1
+                while j < end and toks[j].value != "{" and toks[j].value != ";":
+                    j += 1
+                if j < end and toks[j].value == "{":
+                    close = _match_paren(toks, j, "{", "}")
+                    self._scope(j + 1, close - 1, cls)
+                    i = close
+                else:
+                    i = j + 1
+            elif v in ("class", "struct") and cls is None or \
+                    v in ("class", "struct") and cls is not None:
+                ni = self._try_class(i, end)
+                if ni is None:
+                    i += 1
+                else:
+                    i = ni
+            elif v == "enum":
+                i = self._parse_enum(i, end, cls)
+            elif v == "using":
+                i = self._parse_using(i, end)
+            elif v == "template":
+                # skip `template <...>`, continue at the declaration
+                j = i + 1
+                if j < end and toks[j].value == "<":
+                    j = _match_angle(toks, j)
+                i = j
+            elif v == "{":
+                i = _match_paren(toks, i, "{", "}")
+            elif v in ("public", "private", "protected") and \
+                    i + 1 < end and toks[i + 1].value == ":":
+                i += 2
+            else:
+                ni = self._try_function_or_var(i, end, cls)
+                i = ni if ni is not None and ni > i else i + 1
+
+    def _try_class(self, i, end):
+        toks = self.toks
+        j = i + 1
+        if j >= end or toks[j].kind != "id":
+            return None
+        name = toks[j].value
+        line = toks[j].line
+        j += 1
+        if j < end and toks[j].value == "<":  # template specialization
+            j = _match_angle(toks, j)
+        if j < end and toks[j].value == "final":
+            j += 1
+        bases = []
+        if j < end and toks[j].value == ":":
+            k = j + 1
+            while k < end and toks[k].value != "{" and toks[k].value != ";":
+                if toks[k].kind == "id" and toks[k].value not in (
+                        "public", "private", "protected", "virtual", "std"):
+                    bases.append(toks[k].value)
+                if toks[k].value == "<":
+                    k = _match_angle(toks, k) - 1
+                k += 1
+            j = k
+        if j >= end or toks[j].value != "{":
+            return None  # forward declaration or variable of class type
+        close = _match_paren(toks, j, "{", "}")
+        info = ClassInfo(name=name, line=line, path=self.ir.rel, bases=bases)
+        self.ir.classes.append(info)
+        self._scope(j + 1, close - 1, cls=info)
+        return close
+
+    def _parse_enum(self, i, end, cls):
+        toks = self.toks
+        j = i + 1
+        if j < end and toks[j].value in ("class", "struct"):
+            j += 1
+        if j >= end or toks[j].kind != "id":
+            return i + 1
+        name = toks[j].value
+        j += 1
+        if j < end and toks[j].value == ":":  # underlying type
+            while j < end and toks[j].value not in ("{", ";"):
+                j += 1
+        if j >= end or toks[j].value != "{":
+            return j + 1
+        close = _match_paren(toks, j, "{", "}")
+        enumerators = []
+        k = j + 1
+        depth = 0
+        expect = True
+        while k < close - 1:
+            v = toks[k].value
+            if v in ("{", "(", "<"):
+                depth += 1
+            elif v in ("}", ")", ">"):
+                depth -= 1
+            elif depth == 0:
+                if expect and toks[k].kind == "id":
+                    enumerators.append(toks[k].value)
+                    expect = False
+                elif v == ",":
+                    expect = True
+            k += 1
+        target = cls.enums if cls is not None else self.ir.enums
+        target[name] = enumerators
+        return close
+
+    def _parse_using(self, i, end):
+        toks = self.toks
+        j = i + 1
+        if j + 1 < end and toks[j].kind == "id" and toks[j + 1].value == "=":
+            k = j + 2
+            while k < end and toks[k].value != ";":
+                if toks[k].value == "<":
+                    k = _match_angle(toks, k) - 1
+                k += 1
+            self.ir.aliases[toks[j].value] = _flatten(toks[j + 2:k])
+            return k + 1
+        while j < end and toks[j].value != ";":
+            j += 1
+        return j + 1
+
+    # -- functions and fields ------------------------------------------------
+
+    def _try_function_or_var(self, i, end, cls):
+        """At a declaration start inside a class or at file scope.  Decide
+        between method/function (…name(params)… `{`/`;`) and field/variable
+        (Type name …;)."""
+        toks = self.toks
+        j = i
+        is_virtual = False
+        while j < end and toks[j].kind == "id" and \
+                toks[j].value in _TYPE_QUALIFIERS:
+            if toks[j].value == "virtual":
+                is_virtual = True
+            j += 1
+        if j >= end:
+            return None
+        # Destructor
+        if toks[j].value == "~" and cls is not None:
+            k = j + 1
+            if k < end and toks[k].kind == "id":
+                m = Method(name="~" + toks[k].value, cls=cls.name,
+                           line=toks[k].line, is_virtual=is_virtual,
+                           is_dtor=True, path=self.ir.rel)
+                return self._finish_callable(k + 1, end, m, cls)
+            return None
+        type_str, k = _parse_type(toks, j)
+        if type_str is None:
+            return None
+        # `auto name(...) -> ret`
+        # Constructor: type_str == class name and next token is '('
+        if cls is not None and k < end and toks[k].value == "(" and \
+                type_str.rstrip("&*") == cls.name:
+            m = Method(name=cls.name, cls=cls.name, line=toks[j].line,
+                       is_ctor=True, path=self.ir.rel)
+            return self._finish_callable(k, end, m, cls)
+        # Out-of-line ctor/dtor/method: Type is `Cls::name` handled by
+        # _parse_type absorbing `::name`; re-split on the last '::'.
+        if k < end and toks[k].kind == "id":
+            name_tok = toks[k]
+            owner = cls.name if cls is not None else ""
+            k2 = k + 1
+            # Out-of-line member: `Ret Cls::method(...)` — walk the
+            # qualified chain; the last id is the name, the one before it
+            # the owning class.
+            while k2 + 1 < end and toks[k2].value == "::" and \
+                    toks[k2 + 1].kind == "id":
+                owner = name_tok.value
+                name_tok = toks[k2 + 1]
+                k2 += 2
+            if k2 < end and toks[k2].value == "<":
+                k2 = _match_angle(toks, k2)
+            if k2 < end and toks[k2].value == "(":
+                is_dtor = k2 >= 1 and toks[k2 - 2].value == "~" if \
+                    name_tok is not toks[k] else False
+                m = Method(name=name_tok.value, cls=owner,
+                           line=name_tok.line, return_type=type_str,
+                           is_virtual=is_virtual, is_dtor=is_dtor,
+                           path=self.ir.rel)
+                if m.name == owner:
+                    m.is_ctor = True
+                return self._finish_callable(k2, end, m, cls)
+            # Field / variable declaration
+            if cls is not None and k2 < end and \
+                    toks[k2].value in (";", "=", "{"):
+                init_end = k2
+                init = ""
+                if toks[k2].value != ";":
+                    e = k2
+                    while e < end and toks[e].value != ";":
+                        if toks[e].value == "{":
+                            e = _match_paren(toks, e, "{", "}") - 1
+                        elif toks[e].value == "(":
+                            e = _match_paren(toks, e) - 1
+                        e += 1
+                    init = _flatten(toks[k2:e]).lstrip("=")
+                    init_end = e
+                cls.fields.append(VarDecl(name=name_tok.value,
+                                          type_str=type_str,
+                                          line=name_tok.line, init=init))
+                e = init_end
+                while e < end and toks[e].value != ";":
+                    e += 1
+                return e + 1
+        # Out-of-line constructor: `Cls::Cls(...)` — _parse_type absorbed the
+        # whole qualified name as the "type".
+        if k < end and toks[k].value == "(" and "::" in type_str:
+            parts = [p for p in re.split(r"\s*::\s*", type_str) if p]
+            if len(parts) >= 2 and parts[-1] == parts[-2]:
+                m = Method(name=parts[-1], cls=parts[-1], line=toks[j].line,
+                           is_ctor=True, path=self.ir.rel)
+                return self._finish_callable(k, end, m, cls)
+        # `operator` overloads, conversion operators: skip to ; or matching {}
+        if k < end and toks[k].value == "operator":
+            e = k
+            while e < end and toks[e].value not in ("{", ";"):
+                e += 1
+            if e < end and toks[e].value == "{":
+                return _match_paren(toks, e, "{", "}")
+            return e + 1
+        return None
+
+    def _finish_callable(self, i, end, m: Method, cls):
+        """i points at '(' of the parameter list."""
+        toks = self.toks
+        close_params = _match_paren(toks, i)
+        m.params = self._parse_params(i + 1, close_params - 1)
+        j = close_params
+        while j < end and toks[j].kind == "id" and toks[j].value in (
+                "const", "noexcept", "override", "final", "mutable"):
+            j += 1
+        if j < end and toks[j].value == "->":  # trailing return type
+            ts, j2 = _parse_type(toks, j + 1)
+            if ts:
+                m.return_type = ts
+                j = j2
+        if j < end and toks[j].value == "=":
+            # = default / = delete / = 0 (pure virtual)
+            while j < end and toks[j].value != ";":
+                j += 1
+            self._register(m, cls)
+            return j + 1
+        if j < end and toks[j].value == ":" and (m.is_ctor or m.cls):
+            # ctor init list: record initialized field names
+            m.is_ctor = True
+            k = j + 1
+            while k < end and toks[k].value != "{":
+                if toks[k].kind == "id" and k + 1 < end and \
+                        toks[k + 1].value in ("(", "{"):
+                    m.ctor_inits.append(toks[k].value)
+                    k = _match_paren(toks, k + 1, toks[k + 1].value,
+                                     ")" if toks[k + 1].value == "(" else "}")
+                else:
+                    k += 1
+            j = k
+        if j < end and toks[j].value == "{":
+            body_close = _match_paren(toks, j, "{", "}")
+            m.has_body = True
+            self._pending_bodies.append((j + 1, body_close - 1, m, cls))
+            self._register(m, cls)
+            return body_close
+        if j < end and toks[j].value == ";":
+            self._register(m, cls)
+            return j + 1
+        return None
+
+    def _register(self, m: Method, cls):
+        if cls is not None and m.cls == cls.name:
+            cls.methods.append(m)
+        self.ir.functions.append(m)
+
+    def _parse_params(self, i, end):
+        params = []
+        toks = self.toks
+        depth = 0
+        start = i
+        slices = []
+        while i < end:
+            v = toks[i].value
+            if v in ("(", "{", "["):
+                depth += 1
+            elif v in (")", "}", "]"):
+                depth -= 1
+            elif v == "<":
+                i = _match_angle(toks, i) - 1
+            elif v == "," and depth == 0:
+                slices.append((start, i))
+                start = i + 1
+            i += 1
+        if start < end:
+            slices.append((start, end))
+        for s, e in slices:
+            ts, k = _parse_type(toks, s)
+            if ts is None:
+                continue
+            if k < e and toks[k].kind == "id":
+                params.append(VarDecl(name=toks[k].value, type_str=ts,
+                                      line=toks[k].line))
+            else:
+                params.append(VarDecl(name="", type_str=ts,
+                                      line=toks[s].line))
+        return params
+
+    # -- function bodies -----------------------------------------------------
+
+    def _parse_body(self, i, end, m: Method, cls):
+        toks = self.toks
+        field_names = {f.name for f in cls.fields} if cls is not None else set()
+        # Lock regions: list of (mutex_names frozenset, start_idx, end_idx).
+        regions = []
+
+        def guards_at(idx):
+            names = set()
+            for mus, s, e in regions:
+                if s <= idx < e:
+                    names |= mus
+            return frozenset(names)
+
+        # Pre-scan for lock-guard declarations to build regions.
+        j = i
+        block_stack = []  # indexes of '{'
+        pending = []      # (mutex_names, start_idx, depth)
+        while j < end:
+            v = toks[j].value
+            if v == "{":
+                block_stack.append(j)
+            elif v == "}":
+                depth = len(block_stack)
+                block_stack and block_stack.pop()
+                still = []
+                for mus, s, d in pending:
+                    if d >= depth:
+                        regions.append((mus, s, j))
+                    else:
+                        still.append((mus, s, d))
+                pending = still
+            elif v == "std" and j + 2 < end and toks[j + 1].value == "::" and \
+                    toks[j + 2].value in _LOCK_TYPES:
+                k = j + 3
+                if k < end and toks[k].value == "<":
+                    k = _match_angle(toks, k)
+                if k < end and toks[k].kind == "id":
+                    k += 1  # variable name
+                    if k < end and toks[k].value in ("(", "{"):
+                        close = _match_paren(
+                            toks, k, toks[k].value,
+                            ")" if toks[k].value == "(" else "}")
+                        mus = frozenset(
+                            t.value for t in toks[k + 1:close - 1]
+                            if t.kind == "id" and t.value in field_names)
+                        if not mus:
+                            mus = frozenset(
+                                t.value for t in toks[k + 1:close - 1]
+                                if t.kind == "id")
+                        pending.append((mus, close, len(block_stack)))
+                        j = close
+                        continue
+            j += 1
+        depth = 0
+        for mus, s, d in pending:  # regions open to end of body
+            regions.append((mus, s, end))
+
+        # Main statement scan.
+        j = i
+        while j < end:
+            t = toks[j]
+            v = t.value
+            if v == "for" and j + 1 < end and toks[j + 1].value == "(":
+                close = _match_paren(toks, j + 1)
+                inner = toks[j + 2:close - 1]
+                colon = None
+                depth2 = 0
+                for k2, tk in enumerate(inner):
+                    if tk.value in ("(", "{", "["):
+                        depth2 += 1
+                    elif tk.value in (")", "}", "]"):
+                        depth2 -= 1
+                    elif tk.value == "<":
+                        pass
+                    elif tk.value == ":" and depth2 == 0 and \
+                            (k2 == 0 or inner[k2 - 1].value != ":") and \
+                            (k2 + 1 >= len(inner) or
+                             inner[k2 + 1].value != ":"):
+                        colon = k2
+                        break
+                if colon is not None:
+                    expr = inner[colon + 1:]
+                    m.range_fors.append(RangeFor(expr=expr, line=t.line))
+                else:
+                    # classic for: look for `<id chain>.begin()`
+                    for k2 in range(len(inner) - 2):
+                        if inner[k2].value in (".", "->") and \
+                                inner[k2 + 1].value in ("begin", "cbegin") and \
+                                k2 + 2 < len(inner) and \
+                                inner[k2 + 2].value == "(":
+                            s2 = k2
+                            while s2 > 0 and (inner[s2 - 1].kind == "id" or
+                                              inner[s2 - 1].value in
+                                              (".", "->", "::")):
+                                s2 -= 1
+                            m.iter_loops.append(IterLoop(
+                                base=inner[s2:k2], line=t.line))
+                            break
+                j = close
+                continue
+            if v == "new" and t.kind == "id":
+                if j + 1 < end and toks[j + 1].value != "(":
+                    m.new_lines.append(t.line)
+                j += 1
+                continue
+            if t.kind == "id" and v not in _KEYWORDS:
+                # local declaration?
+                consumed = self._try_local(j, end, m)
+                if consumed is not None:
+                    j = consumed
+                    continue
+                # call?  id (
+                nxt = toks[j + 1].value if j + 1 < end else ""
+                if nxt == "(" and v not in ("assert",):
+                    recv = []
+                    s2 = j
+                    if j >= 1 and toks[j - 1].value in (".", "->"):
+                        s2 = j - 1
+                        while s2 > 0 and (toks[s2 - 1].kind in ("id",) or
+                                          toks[s2 - 1].value in
+                                          (".", "->", "::", ")", "]")):
+                            if toks[s2 - 1].value in (")", "]"):
+                                break
+                            s2 -= 1
+                        recv = toks[s2:j - 1]
+                    m.calls.append(Call(name=v, recv=recv, line=t.line))
+                if v == "new":
+                    pass
+                # field access?
+                if cls is not None and v in field_names:
+                    prev = toks[j - 1].value if j > i else ""
+                    prev2 = toks[j - 2].value if j - 1 > i else ""
+                    bare = prev not in (".", "->") or \
+                        (prev == "->" and prev2 == "this")
+                    if bare:
+                        m.field_accesses.append(FieldAccess(
+                            name=v, line=t.line, guarded_by=guards_at(j)))
+                # assignment `id = rhs ;` (plain identifier targets only;
+                # `x.member = ...` is the member's business, not x's)
+                prev_tok = toks[j - 1].value if j > i else ""
+                if nxt == "=" and prev_tok not in (".", "->") and \
+                        (j + 2 >= end or toks[j + 2].value != "="):
+                    e2 = j + 2
+                    while e2 < end and toks[e2].value not in (";", "{"):
+                        if toks[e2].value == "(":
+                            e2 = _match_paren(toks, e2) - 1
+                        e2 += 1
+                    m.assigns.append(Assign(target=v,
+                                            rhs=toks[j + 2:e2], line=t.line))
+                j += 1
+                continue
+            j += 1
+
+    def _try_local(self, j, end, m: Method):
+        toks = self.toks
+        if toks[j].value in _KEYWORDS or toks[j].value in ("SSR_CHECK_MSG",):
+            return None
+        prev = toks[j - 1].value if j > 0 else ""
+        if prev in (".", "->", "::", "(", ",", "=", "<", "return", "+",
+                    "-", "*", "/", "!", "&", "|", "<<", ">>"):
+            # only consider statement starts (heuristic: after ; { } or ))
+            if prev not in (";", "{", "}", ")"):
+                return None
+        ts, k = _parse_type(toks, j)
+        if ts is None or k >= end:
+            return None
+        if toks[k].kind != "id" or toks[k].value in _KEYWORDS:
+            return None
+        name_tok = toks[k]
+        k2 = k + 1
+        if k2 >= end:
+            return None
+        nxt = toks[k2].value
+        if nxt not in (";", "=", "{", "("):
+            return None
+        if nxt == "(":
+            # function call vs ctor-style init: `Type name(args);` only if
+            # type is not a single lower-case id (avoids `foo bar(...)` that
+            # is really a call); accept qualified/known type spellings.
+            close = _match_paren(toks, k2)
+            if close >= end or toks[close].value != ";":
+                return None
+        init = ""
+        e = k2
+        if nxt != ";":
+            depth = 0
+            while e < end:
+                v = toks[e].value
+                if v in ("(", "{", "["):
+                    depth += 1
+                elif v in (")", "}", "]"):
+                    depth -= 1
+                elif v == ";" and depth == 0:
+                    break
+                e += 1
+            init = _flatten(toks[k2:e]).lstrip("=")
+        m.locals.append(VarDecl(name=name_tok.value, type_str=ts,
+                                line=name_tok.line, init=init))
+        # Resume the scan *inside* the initializer so calls and `new`
+        # expressions there (`int r = rand();`, `T* p = new T();`) are still
+        # seen by the main statement walk.
+        return k + 1
+
+
+# --------------------------------------------------------------------------
+# Program: cross-file indexes, type resolution, call graph
+# --------------------------------------------------------------------------
+
+class Program:
+    def __init__(self, files: list[FileIR]):
+        self.files = files
+        self.classes: dict[str, ClassInfo] = {}
+        self.enums: dict[str, list] = {}
+        self.aliases: dict[str, str] = {}
+        self.methods_by_name: dict[str, list[Method]] = {}
+        self.methods_by_key: dict[str, list[Method]] = {}
+        for f in files:
+            for c in f.classes:
+                self.classes.setdefault(c.name, c)
+                for en, vals in c.enums.items():
+                    self.enums.setdefault(en, vals)
+            self.enums.update(f.enums)
+            self.aliases.update(f.aliases)
+            for fn in f.functions:
+                self.methods_by_name.setdefault(fn.name, []).append(fn)
+                self.methods_by_key.setdefault(fn.key(), []).append(fn)
+
+    # -- type utilities -----------------------------------------------------
+
+    def canon_type(self, ts: str) -> str:
+        ts = ts.strip()
+        for q in ("const ", "constexpr ", "static ", "mutable "):
+            while ts.startswith(q):
+                ts = ts[len(q):]
+        ts = ts.rstrip("&* ").replace("const", "").strip()
+        seen = set()
+        while ts in self.aliases and ts not in seen:
+            seen.add(ts)
+            ts = self.aliases[ts].rstrip("&* ").strip()
+        return ts
+
+    def class_of_type(self, ts: str):
+        base = self.canon_type(ts)
+        base = base.split("<")[0]
+        base = base.split("::")[-1] if base.startswith("std") is False else base
+        return self.classes.get(base)
+
+    def merged_fields(self, cls: ClassInfo):
+        """Fields of cls and (one level of) its bases."""
+        out = list(cls.fields)
+        for b in cls.bases:
+            bc = self.classes.get(b)
+            if bc:
+                out.extend(bc.fields)
+        return out
+
+    def resolve_expr_type(self, expr_tokens, scope: Method,
+                          cls: ClassInfo | None) -> str:
+        """Resolve the static type of a member/call chain expression like
+        `foo_`, `e.time`, `engine.sim().now()`, `vcm.tenant_names()`.
+        Returns '' when unknown."""
+        toks = [t for t in expr_tokens if t.value not in ("const", "&")]
+        if not toks:
+            return ""
+        i = 0
+        cur = ""
+        # Base
+        t0 = toks[i]
+        if t0.value == "this":
+            cur = cls.name if cls else ""
+            i += 1
+        elif t0.kind == "id":
+            name = t0.value
+            # qualified std:: type-expression (e.g. a cast) — bail
+            nxt_call = i + 1 < len(toks) and toks[i + 1].value == "("
+            if nxt_call:
+                cur = self._return_type_of(name, cls)
+                i = _match_paren(toks, i + 1)
+            else:
+                cur = scope.var_type(name)
+                if not cur and cls is not None:
+                    cur = self._field_type(cls, name)
+                if not cur:
+                    return ""
+                i += 1
+        else:
+            return ""
+        # Chain
+        while i < len(toks) and cur:
+            if toks[i].value in (".", "->"):
+                i += 1
+                if i >= len(toks) or toks[i].kind != "id":
+                    break
+                member = toks[i].value
+                is_call = i + 1 < len(toks) and toks[i + 1].value == "("
+                owner = self.class_of_type(cur)
+                nxt = ""
+                if is_call:
+                    if owner is not None:
+                        for mtd in owner.methods:
+                            if mtd.name == member and mtd.return_type:
+                                nxt = mtd.return_type
+                                break
+                    if not nxt:
+                        nxt = self._return_type_of(member, owner)
+                    i = _match_paren(toks, i + 1)
+                else:
+                    if owner is not None:
+                        nxt = self._field_type(owner, member)
+                    i += 1
+                cur = nxt
+            else:
+                break
+        return cur
+
+    def _field_type(self, cls: ClassInfo, name: str) -> str:
+        for f in self.merged_fields(cls):
+            if f.name == name:
+                return f.type_str
+        return ""
+
+    def _return_type_of(self, name: str, owner) -> str:
+        cands = []
+        if owner is not None:
+            cands = [m for m in owner.methods if m.name == name]
+        if not cands:
+            cands = self.methods_by_name.get(name, [])
+        rets = {m.return_type for m in cands if m.return_type}
+        return rets.pop() if len(rets) == 1 else ""
+
+    # -- call graph ---------------------------------------------------------
+
+    def build_reachability(self, sink_pred):
+        """Return the set of Method objects from which a sink call is
+        reachable.  `sink_pred(call, method)` decides direct sinks."""
+        direct = set()
+        for fns in self.methods_by_key.values():
+            for m in fns:
+                for call in m.calls:
+                    if sink_pred(call, m):
+                        direct.add(id(m))
+                        break
+        # reverse call graph by callee name
+        callers_of: dict[str, list[Method]] = {}
+        for fns in self.methods_by_key.values():
+            for m in fns:
+                for call in m.calls:
+                    callers_of.setdefault(call.name, []).append(m)
+        reach = set(direct)
+        work = []
+        for fns in self.methods_by_key.values():
+            for m in fns:
+                if id(m) in reach:
+                    work.append(m)
+        while work:
+            m = work.pop()
+            for caller in callers_of.get(m.name, []):
+                if id(caller) not in reach:
+                    reach.add(id(caller))
+                    work.append(caller)
+        return reach
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+_UNORDERED = ("unordered_map<", "unordered_set<", "unordered_multimap<",
+              "unordered_multiset<")
+
+# Files whose functions count as digest/trace emission sinks.
+_EMIT_FILE_HINTS = ("run_digest", "trace_capture", "trace_export",
+                    "bench_report")
+
+
+def _observer_callbacks(program: Program):
+    obs = program.classes.get("EngineObserver")
+    if obs is None:
+        return []
+    return [m for m in obs.methods if m.name.startswith("on_") and
+            m.is_virtual]
+
+
+def rule_nondet_iteration(program: Program):
+    findings = []
+    callback_names = {m.name for m in _observer_callbacks(program)}
+    # Also treat ReservationHook callbacks as sinks (same dispatch hazard).
+    hook = program.classes.get("ReservationHook")
+    if hook is not None:
+        callback_names |= {m.name for m in hook.methods
+                           if m.name.startswith("on_")}
+
+    def is_sink(call: Call, m: Method) -> bool:
+        if call.name in callback_names and callback_names:
+            return True
+        if call.name in ("schedule_at", "schedule_after"):
+            return True
+        if call.name == "push" and call.recv:
+            rt = program.resolve_expr_type(call.recv, m, _owner(program, m))
+            if "EventQueue" in rt:
+                return True
+        if call.name in ("serialize", "serialize_trace", "write_file",
+                         "digest_run", "run_digest", "format_digest"):
+            return True
+        return False
+
+    def emits(m: Method) -> bool:
+        stem = Path(m.path).stem
+        return any(h in stem for h in _EMIT_FILE_HINTS)
+
+    reach = program.build_reachability(is_sink)
+
+    for f in program.files:
+        for m in f.functions:
+            if not m.has_body:
+                continue
+            owner = _owner(program, m)
+            hot = id(m) in reach or emits(m)
+            if not hot:
+                continue
+            sites = [(rf.expr, rf.line) for rf in m.range_fors]
+            sites += [(il.base, il.line) for il in m.iter_loops]
+            for expr, line in sites:
+                ts = program.resolve_expr_type(expr, m, owner)
+                if not ts and len(expr) == 1 and "unordered_" in expr[0].value:
+                    # clang-frontend lowering stores the resolved type
+                    # spelling directly in the token.
+                    ts = expr[0].value
+                canon = program.canon_type(ts) if ts else ""
+                if any(u in canon for u in _UNORDERED):
+                    findings.append(Finding(
+                        f.rel, line, "nondet-iteration",
+                        f"iterates `{canon}` in `{m.key()}`, which reaches "
+                        "observer dispatch / event scheduling / digest "
+                        "emission; hash order is not reproducible — use an "
+                        "ordered container or sort a snapshot first"))
+    return findings
+
+
+def _owner(program: Program, m: Method):
+    return program.classes.get(m.cls) if m.cls else None
+
+
+_PTR_KEYED = re.compile(
+    r"std\s*::\s*(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?"
+    r"[A-Za-z_][\w:]*(?:\s*<[^<>]*>)?\s*(?:const\s*)?\*")
+
+
+def rule_pointer_keyed_order(program: Program):
+    findings = []
+    for f in program.files:
+        decls = []
+        for c in f.classes:
+            decls += [(v, f"field of {c.name}") for v in c.fields]
+        for m in f.functions:
+            if m.path != f.rel:
+                continue
+            decls += [(v, f"local in {m.key()}") for v in m.locals]
+            decls += [(v, f"parameter of {m.key()}") for v in m.params]
+        for v, where in decls:
+            if _PTR_KEYED.search(v.type_str):
+                findings.append(Finding(
+                    f.rel, v.line, "pointer-keyed-order",
+                    f"`{v.type_str} {v.name}` ({where}) is ordered by a raw "
+                    "pointer key; traversal follows allocation addresses, "
+                    "which differ run to run — key by a stable id instead"))
+    return findings
+
+
+_MUTEX_TYPES = ("std::mutex", "std::shared_mutex", "std::recursive_mutex",
+                "std::timed_mutex")
+_LOCK_EXEMPT_FIELD_TYPES = ("mutex", "condition_variable", "atomic")
+
+
+def rule_lock_discipline(program: Program):
+    findings = []
+    for cname, cls in sorted(program.classes.items()):
+        mutexes = {v.name for v in cls.fields
+                   if any(mt in v.type_str for mt in _MUTEX_TYPES)}
+        if not mutexes:
+            continue
+        guarded: dict[str, list] = {}
+        unguarded: dict[str, list] = {}
+        for m in program.methods_by_key.get(f"{cname}::", []):
+            pass
+        methods = [m for fns in program.methods_by_key.values() for m in fns
+                   if m.cls == cname and m.has_body]
+        for m in methods:
+            if m.is_ctor or m.is_dtor:
+                continue
+            for fa in m.field_accesses:
+                if fa.name in mutexes:
+                    continue
+                ftype = cls.field_type(fa.name)
+                if any(x in ftype for x in _LOCK_EXEMPT_FIELD_TYPES):
+                    continue
+                if fa.guarded_by & mutexes:
+                    guarded.setdefault(fa.name, []).append((m, fa))
+                else:
+                    unguarded.setdefault(fa.name, []).append((m, fa))
+        for fname in sorted(set(guarded) & set(unguarded)):
+            for m, fa in unguarded[fname]:
+                findings.append(Finding(
+                    m.path, fa.line, "lock-discipline",
+                    f"`{cname}::{fname}` is accessed under "
+                    f"{'/'.join(sorted(guarded[fname][0][1].guarded_by))} "
+                    f"elsewhere but without a lock in `{m.key()}` — race "
+                    "candidate; take the lock or document why it is safe"))
+    return findings
+
+
+def rule_observer_schema(program: Program):
+    findings = []
+    callbacks = _observer_callbacks(program)
+    if not callbacks:
+        return findings
+    obs = program.classes["EngineObserver"]
+
+    recorder = program.classes.get("TraceRecorder")
+    auditor = program.classes.get("InvariantAuditor")
+    replay_auditor = program.classes.get("ReplayAuditor")
+    kinds = program.enums.get("TraceEventKind", [])
+
+    if recorder is None:
+        findings.append(Finding(
+            obs.path, obs.line, "observer-schema",
+            "EngineObserver is analyzed but no TraceRecorder class is in "
+            "the analysis set; the capture schema cannot be checked"))
+        return findings
+
+    recorder_methods = {m.name: m for fns in program.methods_by_key.values()
+                        for m in fns if m.cls == "TraceRecorder"}
+    auditor_overrides = {m.name for fns in program.methods_by_key.values()
+                         for m in fns if m.cls == "InvariantAuditor"}
+
+    # TraceEventKind enumerators referenced by ReplayAuditor bodies.
+    replay_kinds = set()
+    if replay_auditor is not None:
+        for fns in program.methods_by_key.values():
+            for m in fns:
+                if m.cls != "ReplayAuditor" or not m.has_body:
+                    continue
+                for f in program.files:
+                    if f.rel != m.path:
+                        continue
+                    text = "\n".join(f.lines)
+                    for k in kinds:
+                        if re.search(r"TraceEventKind\s*::\s*" + k, text):
+                            replay_kinds.add(k)
+
+    # Which TraceEventKind each TraceRecorder override serializes: scan the
+    # defining file's lines between method start and next method.
+    def kinds_used_by(mname: str):
+        used = set()
+        for fns in program.methods_by_key.values():
+            for m in fns:
+                if m.cls == "TraceRecorder" and m.name == mname and m.has_body:
+                    for f in program.files:
+                        if f.rel != m.path:
+                            continue
+                        span = _method_line_span(f, m)
+                        body = "\n".join(f.lines[span[0] - 1:span[1]])
+                        for k in kinds:
+                            if re.search(r"TraceEventKind\s*::\s*" + k, body):
+                                used.add(k)
+        return used
+
+    for cb in callbacks:
+        if cb.name not in recorder_methods:
+            findings.append(Finding(
+                obs.path, cb.line, "observer-schema",
+                f"EngineObserver::{cb.name} has no TraceRecorder override; "
+                "the capture schema silently drops the event kind — extend "
+                "TraceEventKind/TraceRecorder and bump kTraceVersion"))
+            continue
+        if kinds and not kinds_used_by(cb.name):
+            rm = recorder_methods[cb.name]
+            findings.append(Finding(
+                rm.path, rm.line, "observer-schema",
+                f"TraceRecorder::{cb.name} never records a TraceEventKind; "
+                "the override exists but serializes nothing"))
+        if auditor is not None and cb.name not in auditor_overrides:
+            findings.append(Finding(
+                obs.path, cb.line, "observer-schema",
+                f"EngineObserver::{cb.name} is not mirrored by "
+                "InvariantAuditor (the live SlotLedger audit path)"))
+    if replay_auditor is not None and kinds:
+        for k in kinds:
+            if k not in replay_kinds:
+                findings.append(Finding(
+                    replay_auditor.path, replay_auditor.line,
+                    "observer-schema",
+                    f"TraceEventKind::{k} is never handled by ReplayAuditor; "
+                    "replayed captures skip its ledger transition"))
+    return findings
+
+
+def _method_line_span(f: FileIR, m: Method):
+    """(first, last) line of a method definition within its file: from its
+    own line to the line before the next function in the same file."""
+    starts = sorted(fn.line for fn in f.functions if fn.path == f.rel)
+    last = len(f.lines)
+    for s in starts:
+        if s > m.line:
+            last = s - 1
+            break
+    return (m.line, last)
+
+
+_TIME_TYPES = {"SimTime", "SimDuration"}
+_TIME_RETURNING = {"now", "next_event_time", "peek_time", "next_time",
+                   "job_finish_time", "jct"}
+
+
+def _is_time_type(program: Program, ts: str) -> bool:
+    raw = ts.replace("const", "").strip().rstrip("&* ")
+    return raw.split("::")[-1] in _TIME_TYPES
+
+
+def _is_int_type(ts: str) -> bool:
+    raw = ts.replace("const", "").replace("unsigned", "").strip()
+    raw = raw.rstrip("&* ").strip()
+    return raw in _INT_TYPES or raw.replace("std::", "") in {
+        t.replace("std::", "") for t in _INT_TYPES}
+
+
+def rule_sim_time_arith(program: Program):
+    findings = []
+    for f in program.files:
+        # (a) float declarations anywhere: simulated time is double end to
+        # end; a float in the tree is either a timestamp truncation or an
+        # invitation for one.
+        decls = []
+        for c in f.classes:
+            decls += [(v, None, c) for v in c.fields]
+        for m in f.functions:
+            if m.path != f.rel:
+                continue
+            owner = _owner(program, m)
+            decls += [(v, m, owner) for v in m.locals]
+            decls += [(v, m, owner) for v in m.params]
+        for v, m, owner in decls:
+            base = v.type_str.replace("const", "").strip().rstrip("&* ")
+            if base == "float":
+                findings.append(Finding(
+                    f.rel, v.line, "sim-time-arith",
+                    f"`float {v.name}` — simulated time and all derived "
+                    "quantities are double (SimTime); float silently drops "
+                    "precision"))
+        # (b) int var initialized from a time-typed expression without a cast
+        # and (d) SimTime var initialized from int/int division.
+        for m in f.functions:
+            if m.path != f.rel or not m.has_body:
+                continue
+            owner = _owner(program, m)
+            env = {v.name: v.type_str for v in m.params + m.locals}
+            if owner is not None:
+                for fv in program.merged_fields(owner):
+                    env.setdefault(fv.name, fv.type_str)
+
+            def narrowing_target(ts: str) -> bool:
+                # bool-from-comparison is ordinary control flow, not a
+                # timestamp truncation.
+                return _is_int_type(ts) and "bool" not in ts
+
+            def comparisonish(expr: str) -> bool:
+                return bool(re.search(r"[<>!=]=|&&|\|\||[<>](?![<>])", expr))
+
+            def expr_has_time(tokens_str: str) -> bool:
+                for name in re.findall(r"[A-Za-z_]\w*", tokens_str):
+                    if name in ("static_cast", "int64_t", "uint64_t"):
+                        continue
+                    ts = env.get(name, "")
+                    if ts and _is_time_type(program, ts):
+                        return True
+                    if name in _TIME_RETURNING and "(" in tokens_str:
+                        return True
+                return False
+
+            for v in m.locals:
+                if not v.init:
+                    continue
+                if narrowing_target(v.type_str) and \
+                        "static_cast" not in v.init and \
+                        not comparisonish(v.init) and \
+                        expr_has_time(v.init):
+                    findings.append(Finding(
+                        f.rel, v.line, "sim-time-arith",
+                        f"`{v.type_str} {v.name}` initialized from a "
+                        "time-typed expression without an explicit cast; "
+                        "narrowing truncates the timestamp"))
+                if _is_time_type(program, v.type_str) and \
+                        "static_cast" not in v.init and \
+                        _int_division(v.init, env):
+                    findings.append(Finding(
+                        f.rel, v.line, "sim-time-arith",
+                        f"`{v.type_str} {v.name}` computed by integer "
+                        "division; the quotient truncates before the "
+                        "conversion to simulated time"))
+            for a in m.assigns:
+                tt = env.get(a.target, "")
+                rhs = _flatten(a.rhs)
+                if tt and narrowing_target(tt) and \
+                        "static_cast" not in rhs and \
+                        not comparisonish(rhs) and expr_has_time(rhs):
+                    findings.append(Finding(
+                        f.rel, a.line, "sim-time-arith",
+                        f"assignment to `{a.target}` ({tt}) from a "
+                        "time-typed expression without an explicit cast"))
+                if tt and _is_time_type(program, tt) and \
+                        "static_cast" not in rhs and _int_division(rhs, env):
+                    findings.append(Finding(
+                        f.rel, a.line, "sim-time-arith",
+                        f"assignment to `{a.target}` ({tt}) from integer "
+                        "division; the quotient truncates first"))
+    return findings
+
+
+def _int_division(expr: str, env: dict) -> bool:
+    m = re.search(r"([A-Za-z_]\w*|\d[\w.]*)\s*/\s*([A-Za-z_]\w*|\d[\w.]*)",
+                  expr)
+    if not m:
+        return False
+
+    def is_int_term(term: str) -> bool:
+        if re.fullmatch(r"\d+", term):
+            return True
+        if re.fullmatch(r"\d[\w.]*", term):
+            return False  # 30.0, 1e-9 …
+        ts = env.get(term, "")
+        return bool(ts) and _is_int_type(ts)
+
+    return is_int_term(m.group(1)) and is_int_term(m.group(2))
+
+
+def rule_nondet_api(program: Program):
+    findings = []
+    for f in program.files:
+        for m in f.functions:
+            if m.path != f.rel or not m.has_body:
+                continue
+            for call in m.calls:
+                if call.name in ("rand", "srand") and not call.recv:
+                    findings.append(Finding(
+                        f.rel, call.line, "nondet-api",
+                        f"{call.name}() is unseeded global state; draw from "
+                        "the scenario's ssr::Rng"))
+            for v in m.locals:
+                self_t = v.type_str.replace(" ", "")
+                if "random_device" in self_t:
+                    findings.append(Finding(
+                        f.rel, v.line, "nondet-api",
+                        "std::random_device is non-deterministic; derive "
+                        "seeds from ssr::Rng::fork() instead"))
+                base = program.canon_type(v.type_str).replace("std::", "")
+                if base in _RNG_ENGINES and _is_default_init(v.init):
+                    findings.append(Finding(
+                        f.rel, v.line, "nondet-api",
+                        f"`{v.type_str} {v.name}` is default-constructed; a "
+                        "hidden fixed seed makes every run identical but "
+                        "unlabeled — pass an explicit seed"))
+            for line in m.new_lines:
+                findings.append(Finding(
+                    f.rel, line, "nondet-api",
+                    "naked `new` leaks on exceptions; use std::make_unique "
+                    "or a container"))
+            # time(nullptr) style wall-clock reads
+            for call in m.calls:
+                if call.name == "time" and not call.recv:
+                    findings.append(Finding(
+                        f.rel, call.line, "nondet-api",
+                        "wall-clock time() breaks replay determinism; plumb "
+                        "a seed or simulated clock through"))
+        # never-seeded engine fields: no default member init and no ctor
+        # init-list entry in any constructor.
+        for c in f.classes:
+            ctors = [m for fns in program.methods_by_key.values()
+                     for m in fns if m.cls == c.name and m.is_ctor]
+            inited = set()
+            for ct in ctors:
+                inited |= set(ct.ctor_inits)
+            for v in c.fields:
+                base = program.canon_type(v.type_str).replace("std::", "")
+                if base in _RNG_ENGINES and not v.init and \
+                        v.name not in inited:
+                    findings.append(Finding(
+                        f.rel, v.line, "nondet-api",
+                        f"engine field `{v.name}` is never seeded (no "
+                        "default member initializer, no constructor "
+                        "init-list entry); it falls back to the "
+                        "implementation's fixed seed"))
+    return findings
+
+
+def _is_default_init(init: str) -> bool:
+    stripped = init.replace(" ", "")
+    return stripped in ("", "{}", "()")
+
+
+RULE_FUNCS = {
+    "nondet-iteration": rule_nondet_iteration,
+    "pointer-keyed-order": rule_pointer_keyed_order,
+    "lock-discipline": rule_lock_discipline,
+    "observer-schema": rule_observer_schema,
+    "sim-time-arith": rule_sim_time_arith,
+    "nondet-api": rule_nondet_api,
+}
+
+
+# --------------------------------------------------------------------------
+# Optional libclang frontend (CI cross-check; pinned pip install there)
+# --------------------------------------------------------------------------
+
+def try_import_clang():
+    try:
+        from clang import cindex  # type: ignore
+        return cindex
+    except Exception:
+        return None
+
+
+def parse_with_clang(cindex, path: Path, rel: str, text: str,
+                     compile_args: list[str]) -> FileIR:
+    """Lower a libclang translation unit into the same FileIR the structural
+    parser produces, so the rule set runs unchanged."""
+    index = cindex.Index.create()
+    tu = index.parse(str(path), args=compile_args)
+    ir = FileIR(path=path, rel=rel, lines=text.splitlines(), allows={},
+                enums={})
+    for lineno, raw in enumerate(ir.lines, start=1):
+        m = ALLOW_RE.search(raw)
+        if m:
+            ir.allows.setdefault(lineno, set()).add(m.group(1))
+    K = cindex.CursorKind
+
+    def in_file(cur):
+        return cur.location.file and \
+            Path(str(cur.location.file)) == path
+
+    def visit(cur, cls_info):
+        for ch in cur.get_children():
+            kind = ch.kind
+            if kind in (K.NAMESPACE,):
+                visit(ch, cls_info)
+            elif kind in (K.CLASS_DECL, K.STRUCT_DECL) and ch.is_definition():
+                if not in_file(ch):
+                    continue
+                ci = ClassInfo(name=ch.spelling, line=ch.location.line,
+                               path=rel)
+                for base in ch.get_children():
+                    if base.kind == K.CXX_BASE_SPECIFIER:
+                        ci.bases.append(base.type.spelling.split("::")[-1])
+                ir.classes.append(ci)
+                visit(ch, ci)
+            elif kind == K.FIELD_DECL and cls_info is not None:
+                cls_info.fields.append(VarDecl(
+                    name=ch.spelling, type_str=ch.type.spelling,
+                    line=ch.location.line))
+            elif kind == K.ENUM_DECL and ch.is_definition():
+                vals = [e.spelling for e in ch.get_children()
+                        if e.kind == K.ENUM_CONSTANT_DECL]
+                target = cls_info.enums if cls_info is not None else ir.enums
+                target[ch.spelling] = vals
+            elif kind in (K.CXX_METHOD, K.FUNCTION_DECL, K.CONSTRUCTOR,
+                          K.DESTRUCTOR):
+                if not in_file(ch):
+                    continue
+                m = Method(
+                    name=ch.spelling,
+                    cls=(ch.semantic_parent.spelling
+                         if ch.semantic_parent is not None and
+                         ch.semantic_parent.kind in (K.CLASS_DECL,
+                                                     K.STRUCT_DECL) else ""),
+                    line=ch.location.line,
+                    return_type=ch.result_type.spelling,
+                    is_virtual=ch.is_virtual_method()
+                    if kind == K.CXX_METHOD else False,
+                    is_ctor=kind == K.CONSTRUCTOR,
+                    is_dtor=kind == K.DESTRUCTOR,
+                    path=rel)
+                for arg in ch.get_arguments():
+                    m.params.append(VarDecl(name=arg.spelling,
+                                            type_str=arg.type.spelling,
+                                            line=arg.location.line))
+                body = [c for c in ch.get_children()
+                        if c.kind == K.COMPOUND_STMT]
+                if body:
+                    m.has_body = True
+                    lower_body(body[0], m)
+                if cls_info is not None and m.cls == cls_info.name:
+                    cls_info.methods.append(m)
+                ir.functions.append(m)
+
+    def lower_body(node, m: Method):
+        for ch in node.walk_preorder():
+            kind = ch.kind
+            if kind == K.VAR_DECL:
+                m.locals.append(VarDecl(name=ch.spelling,
+                                        type_str=ch.type.spelling,
+                                        line=ch.location.line))
+            elif kind == K.CXX_FOR_RANGE_STMT:
+                kids = list(ch.get_children())
+                if len(kids) >= 2:
+                    rng = kids[-2]
+                    m.range_fors.append(RangeFor(
+                        expr=[Token("id", rng.type.spelling,
+                                    ch.location.line)],
+                        line=ch.location.line))
+            elif kind == K.CALL_EXPR:
+                m.calls.append(Call(name=ch.spelling or "",
+                                    recv=[], line=ch.location.line))
+            elif kind == K.CXX_NEW_EXPR:
+                m.new_lines.append(ch.location.line)
+            elif kind == K.MEMBER_REF_EXPR:
+                m.field_accesses.append(FieldAccess(
+                    name=ch.spelling, line=ch.location.line,
+                    guarded_by=frozenset()))
+
+    visit(tu.cursor, None)
+    return ir
+
+
+# --------------------------------------------------------------------------
+# Driver: collection, suppression, baseline, reporting
+# --------------------------------------------------------------------------
+
+def collect_files(paths, root: Path):
+    files = []
+    for arg in paths:
+        p = Path(arg)
+        if not p.is_absolute():
+            p = root / p
+        if p.is_file():
+            files.append(p)
+        elif p.is_dir():
+            for f in sorted(p.rglob("*")):
+                if f.suffix in CXX_SUFFIXES and f.is_file():
+                    rel = f.as_posix()
+                    if any(part in rel for part in SKIP_DIR_PARTS):
+                        continue
+                    files.append(f)
+        else:
+            print(f"ssr_analyze: no such path: {arg}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def load_compile_commands(path: Path):
+    """File list (and per-file args for the clang frontend) from
+    compile_commands.json."""
+    entries = json.loads(path.read_text(encoding="utf-8"))
+    args_by_file = {}
+    for e in entries:
+        src = Path(e["directory"]) / e["file"] if not Path(
+            e["file"]).is_absolute() else Path(e["file"])
+        src = src.resolve()
+        if "arguments" in e:
+            args = e["arguments"]
+        else:
+            args = e.get("command", "").split()
+        keep = []
+        it = iter(range(len(args)))
+        skip_next = False
+        for k, a in enumerate(args):
+            if skip_next:
+                skip_next = False
+                continue
+            if a.startswith(("-I", "-D", "-std", "-isystem")):
+                keep.append(a)
+                if a in ("-isystem",):
+                    skip_next = True
+            elif a == "-include":
+                keep.append(a)
+                skip_next = True
+        args_by_file[src] = keep
+    return args_by_file
+
+
+def finding_key(f: Finding, file_lines: dict) -> str:
+    """Line-number-independent identity for baselining: rule + file +
+    whitespace-collapsed source line text + occurrence counter (appended by
+    the caller)."""
+    lines = file_lines.get(f.rel, [])
+    text = lines[f.line - 1].strip() if 0 < f.line <= len(lines) else ""
+    collapsed = re.sub(r"\s+", " ", text)
+    return f"{f.rule}|{f.rel}|{collapsed}"
+
+
+def apply_suppressions(findings, files_by_rel):
+    """Partition findings into (kept, suppressed) honoring allow
+    annotations; returns also the set of used (rel, line, rule) allows."""
+    kept, used = [], set()
+    for f in findings:
+        ir = files_by_rel.get(f.rel)
+        allowed = False
+        if ir is not None:
+            for ln in (f.line, f.line - 1):
+                rules = ir.allows.get(ln, set())
+                if f.rule in rules:
+                    # line-above allows must be standalone comments
+                    if ln == f.line or _comment_only(ir, ln):
+                        allowed = True
+                        used.add((f.rel, ln, f.rule))
+                        break
+        if not allowed:
+            kept.append(f)
+    return kept, used
+
+
+def _comment_only(ir: FileIR, ln: int) -> bool:
+    if not (0 < ln <= len(ir.lines)):
+        return False
+    return ir.lines[ln - 1].strip().startswith("//")
+
+
+def stale_suppressions(files_by_rel, used):
+    out = []
+    for rel, ir in sorted(files_by_rel.items()):
+        for ln, rules in sorted(ir.allows.items()):
+            for rule in sorted(rules):
+                if rule not in RULES:
+                    out.append(Finding(
+                        rel, ln, "stale-suppression",
+                        f"allow({rule}) names a rule ssr-analyze does not "
+                        "have; remove or fix the annotation"))
+                elif (rel, ln, rule) not in used:
+                    out.append(Finding(
+                        rel, ln, "stale-suppression",
+                        f"allow({rule}) suppresses nothing on this line; "
+                        "the finding it silenced is gone — remove the "
+                        "annotation"))
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*",
+                        default=["src", "tools", "bench", "examples"])
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write structured findings to PATH ('-' stdout)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="baseline file; only findings not recorded "
+                        "there fail the run")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current findings")
+    parser.add_argument("--frontend", choices=["python", "clang", "auto"],
+                        default="python",
+                        help="python (canonical, hermetic; default), clang "
+                        "(libclang over compile_commands.json), auto")
+    parser.add_argument("--compile-commands", metavar="PATH",
+                        help="compile_commands.json (required for --frontend "
+                        "clang; also narrows the file set)")
+    parser.add_argument("--root", metavar="DIR", default=".",
+                        help="project root for relative paths (default .)")
+    parser.add_argument("--rules", metavar="R1,R2",
+                        help="run only these rules (comma-separated)")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, blurb in RULES.items():
+            print(f"{rule:20} {blurb}")
+        return 0
+
+    root = Path(args.root).resolve()
+    files = collect_files(args.paths, root)
+    if not files:
+        print("ssr_analyze: no input files", file=sys.stderr)
+        return 2
+
+    cc_args = {}
+    if args.compile_commands:
+        cc_path = Path(args.compile_commands)
+        if not cc_path.is_file():
+            print(f"ssr_analyze: no such compile_commands: {cc_path}",
+                  file=sys.stderr)
+            return 2
+        cc_args = load_compile_commands(cc_path)
+
+    frontend = args.frontend
+    cindex = None
+    if frontend in ("clang", "auto"):
+        cindex = try_import_clang()
+        if cindex is None:
+            if frontend == "clang":
+                print("ssr_analyze: --frontend=clang requested but python "
+                      "clang bindings/libclang are unavailable (CI pins "
+                      "`pip install libclang==14.0.6`); falling back is "
+                      "disabled for an explicit request", file=sys.stderr)
+                return 2
+            frontend = "python"
+        else:
+            frontend = "clang"
+
+    irs = []
+    parsers = []
+    for f in files:
+        try:
+            rel = f.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        text = f.read_text(encoding="utf-8", errors="replace")
+        if frontend == "clang" and f.suffix not in (".h", ".hpp"):
+            irs.append(parse_with_clang(
+                cindex, f.resolve(), rel, text,
+                cc_args.get(f.resolve(), ["-std=c++20"])))
+        else:
+            p = FileParser(f, rel, text)
+            irs.append(p.parse())
+            parsers.append(p)
+    # Second phase: parse bodies now that every class in the analysis set is
+    # known (out-of-line .cpp methods need their header's field list).
+    class_index = {}
+    for ir in irs:
+        for c in ir.classes:
+            class_index.setdefault(c.name, c)
+    for p in parsers:
+        p.finish(class_index)
+
+    program = Program(irs)
+    files_by_rel = {ir.rel: ir for ir in irs}
+
+    selected = list(RULE_FUNCS)
+    if args.rules:
+        selected = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in selected if r not in RULE_FUNCS]
+        if unknown:
+            print(f"ssr_analyze: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    findings = []
+    for rule in selected:
+        findings.extend(RULE_FUNCS[rule](program))
+    findings.sort(key=lambda f: (f.rel, f.line, f.rule))
+
+    findings, used = apply_suppressions(findings, files_by_rel)
+    findings.extend(stale_suppressions(files_by_rel, used))
+    findings.sort(key=lambda f: (f.rel, f.line, f.rule))
+
+    # Baseline handling: keyed by rule|file|source-line-text plus an
+    # occurrence counter so duplicates on identical lines stay distinct.
+    file_lines = {ir.rel: ir.lines for ir in irs}
+    counted = {}
+    keyed = []
+    for f in findings:
+        base = finding_key(f, file_lines)
+        counted[base] = counted.get(base, 0) + 1
+        keyed.append((f"{base}#{counted[base]}", f))
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if args.update_baseline:
+        if baseline_path is None:
+            print("ssr_analyze: --update-baseline requires --baseline",
+                  file=sys.stderr)
+            return 2
+        doc = {"schema": "ssr-analyze-baseline-v1",
+               "findings": sorted(k for k, _ in keyed)}
+        baseline_path.write_text(json.dumps(doc, indent=2) + "\n",
+                                 encoding="utf-8")
+        print(f"ssr_analyze: baseline updated with {len(keyed)} finding(s)")
+        return 0
+
+    baselined = set()
+    if baseline_path is not None and baseline_path.is_file():
+        doc = json.loads(baseline_path.read_text(encoding="utf-8"))
+        if doc.get("schema") != "ssr-analyze-baseline-v1":
+            print(f"ssr_analyze: {baseline_path}: unknown baseline schema",
+                  file=sys.stderr)
+            return 2
+        baselined = set(doc.get("findings", []))
+
+    new_findings = [f for k, f in keyed if k not in baselined]
+    old_findings = [f for k, f in keyed if k in baselined]
+
+    for f in new_findings:
+        print(f.text())
+    if old_findings:
+        print(f"ssr_analyze: {len(old_findings)} baselined finding(s) "
+              "suppressed", file=sys.stderr)
+
+    if args.json:
+        doc = {
+            "schema": "ssr-analyze-v1",
+            "frontend": frontend,
+            "files": len(files),
+            "findings": [
+                {"file": f.rel, "line": f.line, "rule": f.rule,
+                 "message": f.message, "baselined": k in baselined}
+                for k, f in keyed
+            ],
+        }
+        payload = json.dumps(doc, indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(args.json).write_text(payload, encoding="utf-8")
+
+    print(f"ssr_analyze: {len(files)} files ({frontend} frontend), "
+          f"{len(new_findings)} new finding(s), "
+          f"{len(old_findings)} baselined", file=sys.stderr)
+    return 1 if new_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,24 +1,18 @@
 #!/usr/bin/env python3
 """Project-convention linter for the SSR simulator.
 
-Enforces rules clang-tidy cannot express (or that we want even when
-clang-tidy is unavailable, as in minimal CI containers):
+Enforces textual conventions that need no type information (the AST-level
+determinism and concurrency rules — wall-clock use, unseeded RNG engines,
+naked new, the observer/capture schema — live in tools/ssr_analyze.py,
+which replaced the regex versions that used to be here):
 
-  no-assert        assert()/abort() terminate without context; use the
-                   SSR_CHECK* macros, which throw ssr::CheckError with
-                   file:line and a message (tests rely on catching it).
-  no-wall-clock    std::rand, rand(), srand(), time(nullptr)/time(NULL) and
-                   std::random_device make runs irreproducible; draw from the
-                   seeded ssr::Rng instead.
-  unseeded-rng     a default-constructed <random> engine hides a fixed
-                   implementation seed; always pass an explicit seed.
-  pragma-once      headers use #pragma once, not #ifndef guards.
-  no-naked-new     raw `new` leaks on exceptions; use std::make_unique /
-                   containers.
-  trace-schema     every EngineObserver callback (sched/types.h) must be
-                   serialized by the capture schema (metrics/trace_capture.h);
-                   otherwise record/replay silently drops the new event kind
-                   and replayed consumers diverge from live ones.
+  no-assert          assert()/abort() terminate without context; use the
+                     SSR_CHECK* macros, which throw ssr::CheckError with
+                     file:line and a message (tests rely on catching it).
+  pragma-once        headers use #pragma once, not #ifndef guards.
+  stale-suppression  an `ssr-lint: allow(<rule>)` annotation must suppress a
+                     finding on its line; once the finding is gone (or the
+                     rule retired) the annotation is rot and must go.
 
 Usage:
   tools/ssr_lint.py [paths...]       # default: src tests bench examples
@@ -37,6 +31,10 @@ from pathlib import Path
 
 CXX_SUFFIXES = {".h", ".hpp", ".cpp", ".cc", ".cxx"}
 HEADER_SUFFIXES = {".h", ".hpp"}
+
+# Deliberately-broken analyzer/lint fixture corpora; never part of a sweep
+# (tests/analyze/*.py point the tools at them explicitly).
+SKIP_DIR_PARTS = ("tests/analyze/fixtures", "tests/analyze/lint_fixtures")
 
 ALLOW_RE = re.compile(r"//\s*ssr-lint:\s*allow\(([a-z0-9-]+)\)")
 
@@ -90,11 +88,8 @@ class Finding:
 
 RULES = {
     "no-assert": "assert()/abort() forbidden; use SSR_CHECK*/SSR_CHECK_MSG",
-    "no-wall-clock": "non-deterministic sources forbidden; use seeded ssr::Rng",
-    "unseeded-rng": "<random> engines must be constructed with an explicit seed",
     "pragma-once": "headers must use #pragma once, not #ifndef guards",
-    "no-naked-new": "raw `new` forbidden; use std::make_unique or containers",
-    "trace-schema": "EngineObserver callbacks must be captured by trace_capture",
+    "stale-suppression": "allow() annotations must suppress an actual finding",
 }
 
 # (rule, regex, message) applied per stripped line.
@@ -103,18 +98,6 @@ LINE_PATTERNS = [
      "assert() aborts without context; use SSR_CHECK or SSR_CHECK_MSG"),
     ("no-assert", re.compile(r"(?<![\w.])(?:std::)?abort\s*\("),
      "abort() is uncatchable; throw via SSR_CHECK_MSG(false, ...) instead"),
-    ("no-wall-clock", re.compile(r"(?<![\w.])(?:std::)?s?rand\s*\("),
-     "std::rand/srand are unseeded global state; use ssr::Rng"),
-    ("no-wall-clock", re.compile(r"(?<![\w.])(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
-     "wall-clock seeding breaks replay determinism; plumb a seed through"),
-    ("no-wall-clock", re.compile(r"std::random_device"),
-     "std::random_device is non-deterministic; derive seeds from ssr::Rng"),
-    ("unseeded-rng", re.compile(
-        r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
-        r"ranlux\d+(?:_base)?)\s+\w+\s*(?:;|\{\s*\})"),
-     "default-constructed RNG uses a hidden fixed seed; pass one explicitly"),
-    ("no-naked-new", re.compile(r"(?<![\w.])new\s+[A-Za-z_:][\w:<>,\s*&]*[({]"),
-     "raw new; prefer std::make_unique (or a container)"),
 ]
 
 GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+\w+_H[_\w]*\s*$", re.MULTILINE)
@@ -126,12 +109,16 @@ def lint_file(path: Path) -> list[Finding]:
     stripped = strip_comments_and_strings(raw)
     raw_lines = raw.splitlines()
     findings: list[Finding] = []
+    used_allows: set[tuple[int, str]] = set()
 
     def allowed(lineno: int, rule: str) -> bool:
         if lineno - 1 >= len(raw_lines):
             return False
         m = ALLOW_RE.search(raw_lines[lineno - 1])
-        return bool(m) and m.group(1) == rule
+        if bool(m) and m.group(1) == rule:
+            used_allows.add((lineno, rule))
+            return True
+        return False
 
     for lineno, line in enumerate(stripped.splitlines(), start=1):
         for rule, pattern, message in LINE_PATTERNS:
@@ -147,59 +134,24 @@ def lint_file(path: Path) -> list[Finding]:
                     path, lineno, "pragma-once",
                     "header lacks #pragma once" +
                     (" (uses an #ifndef guard)" if guard else "")))
-    return findings
 
-
-OBSERVER_HEADER = Path("src/ssr/sched/types.h")
-CAPTURE_HEADER = Path("src/ssr/metrics/trace_capture.h")
-CALLBACK_RE = re.compile(r"virtual\s+void\s+(on_\w+)\s*\(")
-
-
-def check_trace_schema(root: Path) -> list[Finding]:
-    """Whole-project rule: the capture schema must cover the observer seam.
-
-    The record/replay backbone (trace_capture_test, replay_verify, the chaos
-    determinism legs) only proves what the TraceRecorder serializes.  A new
-    EngineObserver callback that the capture never records would replay as if
-    the event never happened — live and replayed consumer state silently
-    diverge.  Flag every `virtual void on_*` declared in EngineObserver whose
-    name never appears in trace_capture.h, forcing the schema (and its
-    version bump) to be part of the same change.
-    """
-    observer_path = root / OBSERVER_HEADER
-    capture_path = root / CAPTURE_HEADER
-    findings: list[Finding] = []
-    if not observer_path.is_file() or not capture_path.is_file():
-        findings.append(Finding(
-            observer_path if not observer_path.is_file() else capture_path,
-            1, "trace-schema", "expected header is missing; was it moved "
-            "without updating tools/ssr_lint.py?"))
-        return findings
-
-    text = observer_path.read_text(encoding="utf-8", errors="replace")
-    begin = text.find("class EngineObserver")
-    if begin == -1:
-        findings.append(Finding(
-            observer_path, 1, "trace-schema",
-            "EngineObserver not found; update tools/ssr_lint.py"))
-        return findings
-    end = text.find("\n};", begin)
-    block = text[begin:end if end != -1 else len(text)]
-
-    capture = capture_path.read_text(encoding="utf-8", errors="replace")
-    captured = set(CALLBACK_RE.findall(capture))
-    captured.update(re.findall(r"\b(on_\w+)\s*\(", capture))
-
-    for m in CALLBACK_RE.finditer(block):
-        name = m.group(1)
-        if name in captured:
+    # Stale-suppression audit: every allow() must have earned its keep above.
+    for lineno, rawline in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(rawline)
+        if not m:
             continue
-        lineno = text[: begin + m.start()].count("\n") + 1
-        findings.append(Finding(
-            observer_path, lineno, "trace-schema",
-            f"EngineObserver::{name} is not serialized by "
-            f"{CAPTURE_HEADER}; extend TraceEventKind/TraceRecorder (and "
-            "bump kTraceVersion) or replay will silently drop it"))
+        rule = m.group(1)
+        if rule not in RULES:
+            findings.append(Finding(
+                path, lineno, "stale-suppression",
+                f"allow({rule}) names a rule ssr_lint no longer has "
+                "(AST-level rules moved to tools/ssr_analyze.py); remove or "
+                "retarget the annotation"))
+        elif (lineno, rule) not in used_allows:
+            findings.append(Finding(
+                path, lineno, "stale-suppression",
+                f"allow({rule}) suppresses nothing on this line; the finding "
+                "it silenced is gone — remove the annotation"))
     return findings
 
 
@@ -210,8 +162,12 @@ def collect(paths: list[str]) -> list[Path]:
         if p.is_file():
             files.append(p)
         elif p.is_dir():
-            files.extend(f for f in sorted(p.rglob("*"))
-                         if f.suffix in CXX_SUFFIXES and f.is_file())
+            for f in sorted(p.rglob("*")):
+                if f.suffix not in CXX_SUFFIXES or not f.is_file():
+                    continue
+                if any(part in f.as_posix() for part in SKIP_DIR_PARTS):
+                    continue
+                files.append(f)
         else:
             print(f"ssr_lint: no such path: {arg}", file=sys.stderr)
             sys.exit(2)
@@ -227,14 +183,13 @@ def main() -> int:
 
     if args.list_rules:
         for rule, blurb in RULES.items():
-            print(f"{rule:14} {blurb}")
+            print(f"{rule:18} {blurb}")
         return 0
 
     findings: list[Finding] = []
     files = collect(args.paths)
     for f in files:
         findings.extend(lint_file(f))
-    findings.extend(check_trace_schema(Path(__file__).resolve().parent.parent))
 
     for finding in findings:
         print(finding)
