@@ -118,6 +118,7 @@ int main(int argc, char** argv) {
       for (int pass = 0; pass < 2; ++pass) {
         RunOptions o;
         o.sched = sched;
+        args.apply_to(o.sched);
         o.seed = args.seed;
         if (pass == 1) {
           o.ssr = SsrConfig{};

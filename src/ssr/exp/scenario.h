@@ -155,10 +155,21 @@ struct BenchArgs {
   /// When set, benches that keep a MetricsRegistry export it here as
   /// ssr-metrics-v1 JSON (metrics/registry.h) next to their other outputs.
   std::string metrics_json;
+  /// Event-queue backend ("--queue heap|calendar") and shard count
+  /// ("--shards N") applied to every run's SchedConfig via apply_to().
+  /// Output is bit-identical across all values — both are pure performance
+  /// knobs (DESIGN.md §13).
+  EventQueueBackend queue = EventQueueBackend::kBinaryHeap;
+  std::uint32_t shards = 1;
 
   static BenchArgs parse(int argc, char** argv);
   /// value / scale, at least 1 (for counts).
   std::uint32_t scaled(std::uint32_t value) const;
+  /// Copy the queue/shard selection into a run's scheduler config.
+  void apply_to(SchedConfig& sched) const {
+    sched.event_queue_backend = queue;
+    sched.event_shards = shards;
+  }
 };
 
 }  // namespace ssr

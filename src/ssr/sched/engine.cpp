@@ -26,6 +26,8 @@ void validate_sched_config(const SchedConfig& config) {
 Engine::Engine(SchedConfig config, std::uint32_t num_nodes,
                std::uint32_t slots_per_node, std::uint64_t seed)
     : config_(config),
+      sim_(EventQueueOptions{config.event_queue_backend, config.event_shards,
+                             num_nodes}),
       cluster_(num_nodes, slots_per_node),
       rng_(seed),
       hook_(std::make_unique<NullReservationHook>()) {
@@ -36,6 +38,8 @@ Engine::Engine(SchedConfig config,
                const std::vector<std::vector<Resources>>& node_slots,
                std::uint64_t seed)
     : config_(config),
+      sim_(EventQueueOptions{config.event_queue_backend, config.event_shards,
+                             static_cast<std::uint32_t>(node_slots.size())}),
       cluster_(node_slots),
       rng_(seed),
       hook_(std::make_unique<NullReservationHook>()) {
@@ -49,23 +53,25 @@ JobId Engine::submit(JobSpec spec) {
   SSR_CHECK_MSG(spec.submit_time >= sim_.now(),
                 "job submit time is in the simulated past");
   const JobId id{static_cast<std::uint32_t>(jobs_.size())};
-  auto job = std::make_unique<JobState>(JobGraph(id, std::move(spec)));
-  const std::uint32_t n = job->graph.num_stages();
-  job->unfinished_parents.resize(n);
+  JobGraph graph(id, std::move(spec));
+  const std::uint32_t n = graph.num_stages();
+  // Reject jobs that could never run — before the arena records anything:
+  // every stage needs at least one slot whose capacity covers its demand, or
+  // the simulation would wedge.
   for (std::uint32_t i = 0; i < n; ++i) {
-    job->unfinished_parents[i] =
-        static_cast<std::uint32_t>(job->graph.stage(i).parents.size());
-  }
-  job->runtimes.resize(n);
-  // Reject jobs that could never run: every stage needs at least one slot
-  // whose capacity covers its demand, or the simulation would wedge.
-  for (std::uint32_t i = 0; i < n; ++i) {
-    SSR_CHECK_MSG(cluster_.fits_any_slot(job->graph.stage(i).demand),
+    SSR_CHECK_MSG(cluster_.fits_any_slot(graph.stage(i).demand),
                   "stage demand exceeds every slot capacity in the cluster");
   }
+  JobState& job = jobs_.emplace_back(std::move(graph));
+  job.unfinished_parents.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    job.unfinished_parents[i] =
+        static_cast<std::uint32_t>(job.graph.stage(i).parents.size());
+  }
+  job.runtimes.resize(n, nullptr);
+  job.output_slots.resize(n);
 
-  const SimTime at = job->graph.submit_time();
-  jobs_.push_back(std::move(job));
+  const SimTime at = job.graph.submit_time();
   sim_.schedule_at(at, EventBand::kArrival, [this, id] { arrive(id); });
   return id;
 }
@@ -93,8 +99,8 @@ void Engine::advance_to(SimTime t) {
 }
 
 bool Engine::all_jobs_finished() const {
-  for (const auto& job : jobs_) {
-    if (!job->done()) return false;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (!jobs_[i].done()) return false;
   }
   return true;
 }
@@ -109,13 +115,14 @@ void Engine::drain() {
   sim_.run();
   drained_ = true;
   cluster_.settle(sim_.now());
-  for (const auto& job : jobs_) {
-    SSR_CHECK_MSG(job->done(), "simulation wedged: "
-                                   << job->graph.name() << " ("
-                                   << job->graph.id() << ") has "
-                                   << job->finished_stages << "/"
-                                   << job->graph.num_stages()
-                                   << " stages finished");
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const JobState& job = jobs_[i];
+    SSR_CHECK_MSG(job.done(), "simulation wedged: "
+                                  << job.graph.name() << " ("
+                                  << job.graph.id() << ") has "
+                                  << job.finished_stages << "/"
+                                  << job.graph.num_stages()
+                                  << " stages finished");
   }
   for (EngineObserver* o : observers_) o->on_run_complete(*this);
 }
@@ -144,13 +151,13 @@ std::uint32_t Engine::running_tasks_of(JobId job) const {
 StageRuntime* Engine::stage_runtime(StageId stage) {
   auto& job = state(stage.job);
   if (stage.index >= job.runtimes.size()) return nullptr;
-  return job.runtimes[stage.index].get();
+  return job.runtimes[stage.index];
 }
 
 const StageRuntime* Engine::stage_runtime(StageId stage) const {
   const auto& job = state(stage.job);
   if (stage.index >= job.runtimes.size()) return nullptr;
-  return job.runtimes[stage.index].get();
+  return job.runtimes[stage.index];
 }
 
 // --- Job lifecycle ----------------------------------------------------------
@@ -165,7 +172,17 @@ void Engine::arrive(JobId job) {
 std::vector<double> Engine::draw_durations(const StageSpec& spec) {
   if (spec.explicit_durations) return *spec.explicit_durations;
   std::vector<double> out(spec.num_tasks);
-  for (double& d : out) d = spec.duration->sample(rng_);
+  double shortest = kTimeInfinity;
+  for (double& d : out) {
+    d = spec.duration->sample(rng_);
+    shortest = std::min(shortest, d);
+  }
+  if (!out.empty()) {
+    // Conservative-lookahead hint for the sharded event queue: any attempt of
+    // this stage completes at least this far after it starts (locality only
+    // slows tasks down), bounding how soon "now" can grow a completion event.
+    sim_.note_event_spacing(shortest + config_.task_overhead);
+  }
   return out;
 }
 
@@ -176,22 +193,20 @@ void Engine::submit_stage(JobId job, std::uint32_t stage_index) {
   const StageId sid = js.graph.stage_id(stage_index);
   const StageSpec& spec = js.graph.stage(stage_index);
 
-  js.runtimes[stage_index] = std::make_unique<StageRuntime>(
-      sid, spec, sim_.now(), draw_durations(spec));
-  StageRuntime& stage = *js.runtimes[stage_index];
+  StageRuntime& stage = stage_arena_.emplace_back(sid, spec, sim_.now(),
+                                                  draw_durations(spec));
+  js.runtimes[stage_index] = &stage;
 
   // Data locality: downstream tasks prefer the slots that produced the
   // parents' outputs.
   std::unordered_set<SlotId> preferred;
   for (std::uint32_t p : spec.parents) {
-    auto it = js.output_slots.find(p);
-    if (it != js.output_slots.end()) {
-      preferred.insert(it->second.begin(), it->second.end());
-    }
+    const std::vector<SlotId>& outs = js.output_slots[p];
+    preferred.insert(outs.begin(), outs.end());
   }
   stage.set_preferred_slots(std::move(preferred));
 
-  active_stages_.push_back(ActiveStage{&stage, &js});
+  active_stages_.push_back(make_active(stage, js));
   // Observers before the hook: a hook that reserves here (e.g. a static
   // carve-out replenishing) can synchronously start this stage's tasks, and
   // the submission event must precede those starts in the observer stream.
@@ -232,24 +247,33 @@ void Engine::finish_job(JobId job) {
 
 // --- Offers -----------------------------------------------------------------
 
-bool Engine::stage_precedes(const JobState& ja, const StageRuntime& a,
-                            const JobState& jb, const StageRuntime& b) const {
+Engine::ActiveStage Engine::make_active(StageRuntime& stage,
+                                        const JobState& js) const {
+  return ActiveStage{&stage,
+                     &js,
+                     js.graph.priority(),
+                     js.graph.submit_time(),
+                     js.graph.spec().fair_weight,
+                     stage.id().job.v,
+                     stage.id().index};
+}
+
+bool Engine::active_precedes(const ActiveStage& a, const ActiveStage& b) const {
   if (config_.policy == SchedulingPolicy::Fair) {
+    // The division must stay a division (not a cached reciprocal multiply):
+    // the fair share's exact ULPs participate in tie-breaking, and digests
+    // are bit-exact across storage layouts.
     const double sa =
-        static_cast<double>(ja.running_tasks) / ja.graph.spec().fair_weight;
+        static_cast<double>(a.job->running_tasks) / a.fair_weight;
     const double sb =
-        static_cast<double>(jb.running_tasks) / jb.graph.spec().fair_weight;
+        static_cast<double>(b.job->running_tasks) / b.fair_weight;
     if (sa != sb) return sa < sb;
   } else {
-    if (ja.graph.priority() != jb.graph.priority()) {
-      return ja.graph.priority() > jb.graph.priority();
-    }
+    if (a.priority != b.priority) return a.priority > b.priority;
   }
-  if (ja.graph.submit_time() != jb.graph.submit_time()) {
-    return ja.graph.submit_time() < jb.graph.submit_time();
-  }
-  if (a.id().job != b.id().job) return a.id().job < b.id().job;
-  return a.id().index < b.id().index;
+  if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+  if (a.job_raw != b.job_raw) return a.job_raw < b.job_raw;
+  return a.stage_index < b.stage_index;
 }
 
 bool Engine::stage_accepts_slot(const StageRuntime& stage, SlotId slot) const {
@@ -273,29 +297,27 @@ bool Engine::stage_accepts_slot(const StageRuntime& stage, SlotId slot) const {
 void Engine::offer_slot(SlotId slot) {
   const SlotState st = cluster_.slot(slot).state();
   if (st == SlotState::Busy || st == SlotState::Dead) return;
-  // Single linear pass: find the policy-first stage that accepts this slot.
-  // (Sorting all pending stages per offer would dominate large overloaded
-  // simulations; acceptance checks are cheap hash lookups.)
-  StageRuntime* best = nullptr;
-  const JobState* best_job = nullptr;
+  // Single linear pass over the cached-key table: find the policy-first
+  // stage that accepts this slot.  (Sorting all pending stages per offer
+  // would dominate large overloaded simulations; the precedence pre-filter
+  // runs on flat cached keys and skips the acceptance probe — and its
+  // arm_locality_retry side effect — for stages that cannot win, exactly as
+  // the pointer-chasing scan did.)
+  const ActiveStage* best = nullptr;
   for (const ActiveStage& active : active_stages_) {
-    StageRuntime* stage = active.runtime;
-    if (stage->all_placed()) continue;
-    if (best != nullptr &&
-        !stage_precedes(*active.job, *stage, *best_job, *best)) {
-      continue;
-    }
-    if (stage_accepts_slot(*stage, slot)) {
-      best = stage;
-      best_job = active.job;
+    if (active.runtime->all_placed()) continue;
+    if (best != nullptr && !active_precedes(active, *best)) continue;
+    if (stage_accepts_slot(*active.runtime, slot)) {
+      best = &active;
     } else {
-      arm_locality_retry(*stage);
+      arm_locality_retry(*active.runtime);
     }
   }
   if (best != nullptr) {
-    const std::uint32_t index = *best->peek_pending();
-    best->take_pending(index);
-    start_attempt(*best, best->mutable_original(index), slot);
+    StageRuntime& stage = *best->runtime;
+    const std::uint32_t index = *stage.peek_pending();
+    stage.take_pending(index);
+    start_attempt(stage, stage.mutable_original(index), slot);
   }
 }
 
@@ -339,8 +361,11 @@ void Engine::place_stage_tasks(StageRuntime& stage) {
   // downstream computations reclaim their reservations first; (2) idle slots
   // holding parent outputs; (3) any other idle slot; (4) lower-priority
   // reservations (override).  Duplicates are harmless: a consumed slot fails
-  // the availability re-check.
-  std::vector<SlotId> candidates;
+  // the availability re-check.  The buffer's capacity is recycled across
+  // calls — at fig15 scale this enumeration runs for every stage submission
+  // and the repeated growth shows up in profiles.
+  std::vector<SlotId> candidates = std::move(candidate_scratch_);
+  candidates.clear();
   if (model == ReservedApprovalModel::Custom) {
     // Reference enumeration: full id-ordered scans over the cluster's free
     // sets.  Hooks with unknown approval semantics get this path, and the
@@ -394,6 +419,7 @@ void Engine::place_stage_tasks(StageRuntime& stage) {
     stage.take_pending(index);
     start_attempt(stage, stage.mutable_original(index), slot);
   }
+  candidate_scratch_ = std::move(candidates);
   arm_locality_retry(stage);
 }
 
@@ -438,7 +464,9 @@ void Engine::start_attempt(StageRuntime& stage, TaskAttempt& attempt,
   for (EngineObserver* o : observers_) o->on_task_started(*this, attempt.id, slot);
   hook_->on_task_started(*this, attempt.id, slot);
 
-  sim_.schedule_after(runtime,
+  // Completion events are the bulk of the queue at scale; home them on the
+  // executing slot's node so the sharded queue spreads them across lanes.
+  sim_.schedule_after(runtime, cluster_.slot(slot).node(),
                       [this, sid = stage.id(), tid = attempt.id,
                        epoch = attempt.epoch] { handle_completion(sid, tid, epoch); });
 
@@ -531,7 +559,8 @@ void Engine::reserve_slot(SlotId slot, Reservation reservation) {
     o->on_slot_reserved(*this, slot, reservation);
   }
   if (deadline < kTimeInfinity) {
-    sim_.schedule_at(deadline, [this, slot, token] {
+    sim_.schedule_at(deadline, EventBand::kInternal,
+                     cluster_.slot(slot).node(), [this, slot, token] {
       if (cluster_.release_if_current(slot, token, sim_.now())) {
         for (EngineObserver* o : observers_) {
           o->on_reservation_released(*this, slot,
@@ -667,18 +696,14 @@ void Engine::invalidate_outputs(SlotId slot,
     if (js.finish_time >= 0.0) continue;  // job done; nobody reads the data
     // The locality index forgets the dead slot whether or not a re-run is
     // needed — child stages must stop preferring it.
-    auto out_it = js.output_slots.find(sid.index);
-    if (out_it != js.output_slots.end()) {
-      std::erase(out_it->second, slot);
-      if (out_it->second.empty()) js.output_slots.erase(out_it);
-    }
-    StageRuntime* stage = js.runtimes[sid.index].get();
+    std::erase(js.output_slots[sid.index], slot);
+    StageRuntime* stage = js.runtimes[sid.index];
     SSR_CHECK_MSG(stage != nullptr, "resident output of unsubmitted stage");
     // Re-run lost producers only while some dependent stage still needs the
     // data: a child not yet submitted, or submitted but not complete.
     bool needed = false;
     for (std::uint32_t child : js.graph.children(sid.index)) {
-      const StageRuntime* c = js.runtimes[child].get();
+      const StageRuntime* c = js.runtimes[child];
       if (c == nullptr || !c->complete()) {
         needed = true;
         break;
@@ -719,7 +744,7 @@ void Engine::ensure_active(StageRuntime& stage) {
   for (const ActiveStage& active : active_stages_) {
     if (active.runtime == &stage) return;
   }
-  active_stages_.push_back(ActiveStage{&stage, &state(stage.id().job)});
+  active_stages_.push_back(make_active(stage, state(stage.id().job)));
 }
 
 void Engine::place_after_failure(const std::vector<StageRuntime*>& to_place) {

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ssr/common/arena.h"
 #include "ssr/common/ids.h"
 #include "ssr/common/rng.h"
 #include "ssr/common/time.h"
@@ -193,17 +194,20 @@ class Engine : public FailureSink {
     std::uint32_t running_tasks = 0;
     /// Per stage: number of parent stages not yet finished.
     std::vector<std::uint32_t> unfinished_parents;
-    /// Per stage: runtime, created at submission.
-    std::vector<std::unique_ptr<StageRuntime>> runtimes;
+    /// Per stage: runtime, created at submission; nullptr until the stage's
+    /// barrier clears.  The records live in the engine's stage arena
+    /// (stable addresses, chunked allocation).
+    std::vector<StageRuntime*> runtimes;
     /// Per stage index: slots on which the stage's tasks completed (the
-    /// locality index consumed by child-stage submission).  Job-local so
-    /// teardown is proportional to the job, not to all jobs ever run.
-    std::unordered_map<std::uint32_t, std::vector<SlotId>> output_slots;
+    /// locality index consumed by child-stage submission).  Dense by stage
+    /// index and job-local, so lookups are an array deref and teardown is
+    /// proportional to the job, not to all jobs ever run.
+    std::vector<std::vector<SlotId>> output_slots;
     bool done() const { return finished_stages == graph.num_stages(); }
   };
 
-  JobState& state(JobId job) { return *jobs_.at(job.v); }
-  const JobState& state(JobId job) const { return *jobs_.at(job.v); }
+  JobState& state(JobId job) { return jobs_.at(job.v); }
+  const JobState& state(JobId job) const { return jobs_.at(job.v); }
 
   void arrive(JobId job);
   void submit_stage(JobId job, std::uint32_t stage_index);
@@ -222,10 +226,6 @@ class Engine : public FailureSink {
   /// in ascending slot-id order, by merging the priority buckets.
   void append_overridable_reserved(JobId job, int priority,
                                    std::vector<SlotId>& out) const;
-
-  /// Policy order: does stage `a` outrank stage `b` for the next offer?
-  bool stage_precedes(const JobState& ja, const StageRuntime& a,
-                      const JobState& jb, const StageRuntime& b) const;
 
   /// Can `stage` start its next pending task on `slot` right now?
   /// Checks approval and delay scheduling.  `slot` may be Idle or
@@ -266,16 +266,41 @@ class Engine : public FailureSink {
   Cluster cluster_;
   Rng rng_;
 
-  std::vector<std::unique_ptr<JobState>> jobs_;
-  /// One entry per stage with pending tasks, in submission order.  The
-  /// runtime and job-state pointers are stable for the engine's lifetime
-  /// (both live behind unique_ptrs); caching them keeps the per-offer scan
-  /// free of id -> runtime lookups, which dominate at fig15 scale.
+  /// Job records by raw job id; arena-backed so JobState addresses are
+  /// stable (ActiveStage caches them) without one heap object per job.
+  Arena<JobState> jobs_;
+  /// Stage runtimes in submission order, arena-backed for the same reason:
+  /// attempt events, the active-stage table, and JobState::runtimes all hold
+  /// raw StageRuntime pointers across the engine's lifetime.
+  Arena<StageRuntime> stage_arena_;
+  /// One entry per stage with pending tasks, in submission order — a
+  /// struct-of-cached-keys table.  The runtime and job-state pointers are
+  /// stable for the engine's lifetime (both arena-backed), and
+  /// every policy key that cannot change while a stage is active (priority,
+  /// submit time, fair weight, ids) is flattened into the entry, so the
+  /// per-offer precedence scan — the hottest loop at fig15 scale — touches
+  /// one contiguous array plus a single `running_tasks` load per entry
+  /// instead of chasing runtime -> id -> job -> graph -> spec.
   struct ActiveStage {
     StageRuntime* runtime;
-    const JobState* job;
+    const JobState* job;       ///< for the (mutable) running_tasks share load
+    int priority;              ///< graph.priority()
+    double submit_time;        ///< graph.submit_time()
+    double fair_weight;        ///< graph.spec().fair_weight
+    std::uint32_t job_raw;     ///< id().job.v — final FIFO tie-breaks
+    std::uint32_t stage_index; ///< id().index
   };
   std::vector<ActiveStage> active_stages_;
+
+  ActiveStage make_active(StageRuntime& stage, const JobState& js) const;
+  /// Policy order over cached keys: fair share (or priority), then
+  /// submit time, then job id, then stage index — a total order.
+  bool active_precedes(const ActiveStage& a, const ActiveStage& b) const;
+
+  /// Reusable candidate buffer for place_stage_tasks (capacity persists
+  /// across calls; moved out during use so any unexpected re-entry degrades
+  /// to a fresh allocation instead of corruption).
+  std::vector<SlotId> candidate_scratch_;
 
   std::unique_ptr<ReservationHook> hook_;
   std::vector<EngineObserver*> observers_;

@@ -121,8 +121,19 @@ void Cluster::finish_task(SlotId id, SimTime now) {
   SSR_CHECK_MSG(s.state_ == SlotState::Busy, "no task running on slot");
   accrue(s, now);
   const StageId finished = s.running_task_->stage;
-  s.resident_outputs_[finished.job].insert(finished.index);
-  output_slots_of_job_[finished.job].insert(id);
+  const std::pair<std::uint32_t, std::uint32_t> key{finished.job.v,
+                                                    finished.index};
+  auto res_it = std::lower_bound(s.resident_outputs_.begin(),
+                                 s.resident_outputs_.end(), key);
+  if (res_it == s.resident_outputs_.end() || *res_it != key) {
+    s.resident_outputs_.insert(res_it, key);
+  }
+  if (finished.job.v >= output_slots_of_job_.size()) {
+    output_slots_of_job_.resize(finished.job.v + 1);
+  }
+  std::vector<SlotId>& outs = output_slots_of_job_[finished.job.v];
+  auto out_it = std::lower_bound(outs.begin(), outs.end(), id);
+  if (out_it == outs.end() || *out_it != id) outs.insert(out_it, id);
   s.running_task_.reset();
   s.state_ = SlotState::Idle;
   idle_.insert(id);
@@ -188,31 +199,34 @@ void Cluster::recover_slot(SlotId id, SimTime now) {
 }
 
 void Cluster::forget_job_outputs(JobId job) {
-  auto it = output_slots_of_job_.find(job);
-  if (it == output_slots_of_job_.end()) return;
-  for (SlotId id : it->second) {
-    mutable_slot(id).resident_outputs_.erase(job);
+  if (job.v >= output_slots_of_job_.size()) return;
+  std::vector<SlotId>& outs = output_slots_of_job_[job.v];
+  for (SlotId id : outs) {
+    // Ranged erase of the job's contiguous run in the sorted per-slot
+    // vector.  Job ids are dense and well below 2^32, so job.v + 1 is safe.
+    auto& res = mutable_slot(id).resident_outputs_;
+    auto lo = std::lower_bound(res.begin(), res.end(), std::pair{job.v, 0u});
+    auto hi =
+        std::lower_bound(lo, res.end(), std::pair{job.v + 1, 0u});
+    res.erase(lo, hi);
   }
-  output_slots_of_job_.erase(it);
+  outs.clear();
+  outs.shrink_to_fit();  // keep memory bounded by live jobs, as the map was
 }
 
 std::vector<StageId> Cluster::take_resident_outputs(SlotId id) {
   Slot& s = mutable_slot(id);
   std::vector<StageId> lost;
-  for (const auto& [job, indices] : s.resident_outputs_) {
-    for (std::uint32_t index : indices) {
-      lost.push_back(StageId{job, index});
-    }
-    auto it = output_slots_of_job_.find(job);
-    if (it != output_slots_of_job_.end()) {
-      it->second.erase(id);
-      if (it->second.empty()) output_slots_of_job_.erase(it);
-    }
+  lost.reserve(s.resident_outputs_.size());
+  for (const auto& [job_raw, index] : s.resident_outputs_) {
+    lost.push_back(StageId{JobId{job_raw}, index});
+    std::vector<SlotId>& outs = output_slots_of_job_[job_raw];
+    auto it = std::lower_bound(outs.begin(), outs.end(), id);
+    if (it != outs.end() && *it == id) outs.erase(it);
   }
   s.resident_outputs_.clear();
-  // The per-slot map is unordered; sort so failure handling visits producer
-  // stages in a deterministic (job, index) order.
-  std::sort(lost.begin(), lost.end());
+  // The per-slot vector is sorted by (job, index), which is exactly StageId
+  // order, so failure handling visits producer stages deterministically.
   return lost;
 }
 

@@ -13,12 +13,13 @@
 // free-slot index until it recovers.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "ssr/common/check.h"
@@ -62,8 +63,9 @@ class Slot {
   /// task of `stage` completed here.  Downstream tasks scheduled on such a
   /// slot run at full speed; elsewhere they pay the locality penalty.
   bool has_output(StageId stage) const {
-    auto it = resident_outputs_.find(stage.job);
-    return it != resident_outputs_.end() && it->second.contains(stage.index);
+    return std::binary_search(resident_outputs_.begin(),
+                              resident_outputs_.end(),
+                              std::pair{stage.job.v, stage.index});
   }
 
   double busy_time() const { return busy_time_; }
@@ -79,11 +81,12 @@ class Slot {
   SlotState state_ = SlotState::Idle;
   std::optional<Reservation> reservation_;
   std::optional<TaskId> running_task_;
-  /// Resident stage outputs keyed by owning job, so a finished job's
-  /// entries are dropped with one map erase instead of a scan over every
-  /// other job's outputs (job teardown is on the hot path at fig15 scale).
-  std::unordered_map<JobId, std::unordered_set<std::uint32_t>>
-      resident_outputs_;
+  /// Resident stage outputs as a sorted, unique (job raw id, stage index)
+  /// vector.  A slot holds a handful of entries at any time, so the dense
+  /// layout beats the former per-job hash-map-of-hash-sets on every
+  /// operation (binary-search lookup, ranged erase per finished job) and,
+  /// unlike it, iterates in deterministic order for free.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> resident_outputs_;
 
   SimTime state_since_ = kTimeZero;
   double busy_time_ = 0.0;
@@ -221,10 +224,11 @@ class Cluster {
   /// the number of live reservations, not of jobs ever seen.
   std::map<JobId, std::set<SlotId>> reserved_idle_of_job_;
   std::map<int, std::set<SlotId>> reserved_idle_by_priority_;
-  /// Slots currently holding resident outputs of each job; makes
-  /// forget_job_outputs proportional to the job's footprint instead of the
-  /// cluster size.
-  std::unordered_map<JobId, std::unordered_set<SlotId>> output_slots_of_job_;
+  /// Slots currently holding resident outputs of each job, indexed densely
+  /// by job raw id (jobs are dense small integers); each entry is a sorted,
+  /// unique slot vector.  Makes forget_job_outputs proportional to the
+  /// job's footprint with no hashing on the completion hot path.
+  std::vector<std::vector<SlotId>> output_slots_of_job_;
   /// Distinct slot capacities (fixed at construction).
   std::vector<Resources> distinct_capacities_;
   std::unordered_map<JobId, double> reserved_idle_by_job_;

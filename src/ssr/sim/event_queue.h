@@ -1,14 +1,27 @@
 // Min-time event queue for the discrete-event engine.
+//
+// One API, two storage backends (binary heap / calendar queue) and an
+// optional per-node-group shard layer — all implementing the same total
+// order (time, band, insertion sequence), so pop order is bit-identical
+// across every backend x shard-count combination by construction.  See
+// DESIGN.md §13 for the determinism argument and the threading model.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "ssr/common/ids.h"
 #include "ssr/common/time.h"
+#include "ssr/sim/event_queue_options.h"
 
 namespace ssr {
 
@@ -16,6 +29,11 @@ namespace ssr {
 /// std::move_only_function).  std::function requires its target to be
 /// copyable, which forbids lambdas that capture move-only state and forces
 /// the queue to copy callbacks around; this wrapper only ever moves.
+///
+/// Targets up to kInlineSize bytes live inside the wrapper itself (small
+/// buffer optimization) — every engine-scheduled lambda fits, so the
+/// millions of events a fig15-scale run pushes never touch the allocator.
+/// Larger or throwing-move targets fall back to a heap allocation.
 class UniqueCallback {
  public:
   UniqueCallback() = default;
@@ -23,30 +41,79 @@ class UniqueCallback {
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, UniqueCallback>>>
-  UniqueCallback(F&& fn)  // NOLINT(google-explicit-constructor)
-      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(fn))) {}
+  UniqueCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      vt_ = &kInlineVTable<D>;
+    } else {
+      auto owned = std::make_unique<D>(std::forward<F>(fn));
+      ::new (static_cast<void*>(buf_)) D*(owned.release());
+      vt_ = &kHeapVTable<D>;
+    }
+  }
 
-  UniqueCallback(UniqueCallback&&) noexcept = default;
-  UniqueCallback& operator=(UniqueCallback&&) noexcept = default;
+  UniqueCallback(UniqueCallback&& other) noexcept { steal(other); }
+  UniqueCallback& operator=(UniqueCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
   UniqueCallback(const UniqueCallback&) = delete;
   UniqueCallback& operator=(const UniqueCallback&) = delete;
+  ~UniqueCallback() { reset(); }
 
-  void operator()() { impl_->call(); }
-  explicit operator bool() const { return impl_ != nullptr; }
+  void operator()() { vt_->invoke(buf_); }
+  explicit operator bool() const { return vt_ != nullptr; }
 
  private:
-  struct Concept {
-    virtual ~Concept() = default;
-    virtual void call() = 0;
-  };
-  template <typename F>
-  struct Model final : Concept {
-    explicit Model(F f) : fn(std::move(f)) {}
-    void call() override { fn(); }
-    F fn;
+  static constexpr std::size_t kInlineSize = 48;
+
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-construct the target from `src` into `dst`, then destroy `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
   };
 
-  std::unique_ptr<Concept> impl_;
+  template <typename D>
+  static constexpr VTable kInlineVTable{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr VTable kHeapVTable{
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* dst, void* src) { ::new (dst) D*(*static_cast<D**>(src)); },
+      [](void* p) { delete *static_cast<D**>(p); },
+  };
+
+  void steal(UniqueCallback& other) {
+    if (other.vt_ != nullptr) {
+      vt_ = other.vt_;
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) std::byte buf_[kInlineSize];
 };
 
 /// Deterministic tie-break class for events scheduled at the same instant.
@@ -69,20 +136,41 @@ enum class EventBand : std::uint8_t {
 /// band, which makes runs deterministic regardless of floating-point
 /// coincidences.
 ///
-/// The storage is a binary heap over a flat vector rather than a
-/// std::priority_queue: priority_queue::top() is const&, so extracting an
-/// event either copies the callback or const_casts around the API.  The flat
-/// heap sifts the front element to the back and moves it out, so pop() never
-/// copies a callback and move-only callables work throughout.
+/// Sharding: with opts.shards > 1 the queue keeps one central lane plus one
+/// lane per node group, and events pushed with a home node are stored in
+/// that group's lane.  The sequence number is global and assigned at push
+/// time, so the driver's pop — an argmin over lane heads under the full
+/// (time, band, seq) order — returns exactly the event a single-lane queue
+/// would have: lane assignment can never reorder anything.  One worker
+/// thread per shard lane performs deferred storage maintenance (heap-lane
+/// staging drains, calendar bucket presorts) behind the lane's mutex; that
+/// maintenance moves no event between lanes and never changes a lane's
+/// minimum, so worker progress is invisible to pop order and the queue stays
+/// bit-deterministic under any thread schedule (the shard determinism suite
+/// and the TSan CI leg enforce this).
+///
+/// All public methods are driver-thread-only; the worker threads are an
+/// internal implementation detail.
 class EventQueue {
  public:
   using Callback = UniqueCallback;
 
-  void push(SimTime at, Callback fn);  ///< kInternal band
-  void push(SimTime at, EventBand band, Callback fn);
+  EventQueue() : EventQueue(EventQueueOptions{}) {}
+  explicit EventQueue(const EventQueueOptions& opts);
+  ~EventQueue();
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  void push(SimTime at, Callback fn);  ///< kInternal band, central lane
+  void push(SimTime at, EventBand band, Callback fn);
+  /// Route the event to `home`'s node-group lane (falls back to the central
+  /// lane when sharding is off).  Ordering is unaffected by the choice —
+  /// homing is purely a storage/maintenance locality hint.
+  void push(SimTime at, EventBand band, NodeId home, Callback fn);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
   /// Time of the earliest pending event; kTimeInfinity when empty.
   SimTime next_time() const;
@@ -103,6 +191,18 @@ class EventQueue {
   std::optional<std::pair<SimTime, Callback>> pop_if_at_or_before(
       SimTime horizon);
 
+  EventQueueBackend backend() const { return opts_.backend; }
+  std::uint32_t shards() const { return opts_.shards; }
+
+  /// Conservative-lookahead hint: a lower bound on the delay between "now"
+  /// and the completion events the engine schedules (the minimum drawn task
+  /// duration — the barrier event-time structure).  Workers use it to size
+  /// how far past the driver cursor calendar buckets are worth presorting:
+  /// buckets inside the hint window cannot receive new completion events, so
+  /// sorting them is never wasted.  Purely a performance knob — correctness
+  /// and pop order never depend on it (presorting is idempotent).
+  void note_spacing_hint(SimDuration spacing);
+
  private:
   struct Event {
     SimTime at;
@@ -110,6 +210,18 @@ class EventQueue {
     std::uint64_t seq;
     Callback fn;
   };
+  struct EventKey {
+    SimTime at;
+    EventBand band;
+    std::uint64_t seq;
+  };
+  static bool key_earlier(const EventKey& a, const EventKey& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.band != b.band) return a.band < b.band;
+    return a.seq < b.seq;
+  }
+  static EventKey key_of(const Event& e) { return EventKey{e.at, e.band, e.seq}; }
+  /// Heap comparator ("later than"): min-heap via std::push_heap/pop_heap.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at > b.at;
@@ -117,9 +229,101 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  /// Descending sort order for calendar buckets: the bucket minimum sits at
+  /// the back, so extraction is a pop_back.
+  struct DescKey {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      if (a.band != b.band) return a.band > b.band;
+      return a.seq > b.seq;
+    }
+  };
 
-  std::vector<Event> heap_;
+  struct Bucket {
+    std::vector<Event> events;
+    bool sorted = true;  ///< descending by key (min at back) when true
+  };
+
+  /// One event lane.  All fields below `mu` are guarded by `mu`; the driver
+  /// and the lane's worker thread both take it for every access.
+  struct Lane {
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+
+    // --- binary-heap backend ------------------------------------------------
+    std::vector<Event> heap;  ///< flat min-heap under Later
+    /// Driver-side push buffer when a worker serves this lane: the driver
+    /// appends O(1) and the worker folds entries into `heap`; the lane
+    /// minimum is min(heap front, staged_min), so draining is invisible.
+    std::vector<Event> staging;
+    bool staged_min_valid = false;
+    EventKey staged_min{};
+    /// True on heap-backend shard lanes: pushes go to `staging` and the
+    /// worker folds them into `heap`.  Single-lane queues push straight into
+    /// the heap (no worker exists to drain for them).
+    bool staged_mode = false;
+
+    // --- calendar backend ---------------------------------------------------
+    std::vector<Bucket> buckets;
+    double origin = 0.0;  ///< time of bucket index 0 (set at rebuild)
+    double width = 1.0;   ///< bucket time width
+    /// Driver scan cursor as an *absolute* bucket index — the value
+    /// rel_index() assigns, before the mod-n wrap.  An event belongs to the
+    /// cursor's window iff rel_index(event) <= cur_abs; both sides evaluate
+    /// the identical floor((at - origin) / width) expression, so the check
+    /// is exact.  (A floating "bucket top" accumulated with += width rounds
+    /// differently from the insert-side index and can skip an event sitting
+    /// within one ulp of its bucket boundary for a whole wrap — a real,
+    /// order-inverting bug the shard determinism suite caught.)
+    std::int64_t cur_abs = 0;
+    std::size_t count = 0;  ///< events resident in buckets
+    /// Far-future/non-finite events, kept out of the bucket array so bucket
+    /// index arithmetic never sees +inf or a time years beyond the live
+    /// population.  Invariant: every bucket event's time < far_floor <=
+    /// every overflow event's time, so overflow only matters once the
+    /// buckets drain (which triggers a rebuild around the overflow).
+    std::vector<Event> overflow;
+    bool overflow_sorted = true;  ///< descending by key (min at back)
+    double far_floor = kTimeInfinity;
+    /// Cached minimum (valid => buckets[min_bucket] holds the lane minimum
+    /// with key min_key; the bucket may still need a sort before the min is
+    /// physically at the back).
+    bool min_valid = false;
+    EventKey min_key{};
+    std::size_t min_bucket = 0;
+  };
+
+  Lane& lane_for(NodeId home);
+  void lane_push(Lane& ln, Event ev);
+  std::optional<EventKey> lane_min_key(Lane& ln) const;
+  Event lane_extract_min(Lane& ln);
+
+  // Calendar internals (all called with ln.mu held; static — they touch
+  // only the lane, which lets const peeks trigger lazy rebuilds).
+  /// Absolute bucket index of a time, shared by insert, scan, and cursor
+  /// regression so bucket membership is decided by one expression.
+  /// Precondition: |(at - origin) / width| < kMaxRelIndex.
+  static std::int64_t rel_index(const Lane& ln, double at);
+  /// buckets[] slot of an absolute index (size is always a power of two).
+  static std::size_t bucket_of(const Lane& ln, std::int64_t abs_index);
+  static void cal_insert(Lane& ln, Event ev);
+  static void cal_locate_min(Lane& ln);
+  static void cal_rebuild(Lane& ln, std::size_t nbuckets);
+  static void sort_bucket(Bucket& b);
+
+  bool do_maintenance(Lane& ln);
+  void worker_main(Lane& ln);
+
+  EventQueueOptions opts_;
+  /// unique_ptr elements: Lane holds a mutex (immovable) and worker threads
+  /// capture lane addresses, so lanes must never relocate.
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<double> spacing_hint_{0.0};
+
   std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
 };
 
 }  // namespace ssr

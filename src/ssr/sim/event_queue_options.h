@@ -1,0 +1,41 @@
+// Event-queue construction knobs, split from event_queue.h so configuration
+// structs (SchedConfig, RunOptions) can name the backend without pulling the
+// queue's threading machinery into every translation unit.
+#pragma once
+
+#include <cstdint>
+
+namespace ssr {
+
+/// Storage backend behind the EventQueue API.  Both back ends implement the
+/// identical total order (time, band, insertion sequence), so the choice is
+/// purely a performance knob: pop order — and therefore every downstream
+/// digest and trace — is bit-identical between them by construction.
+enum class EventQueueBackend : std::uint8_t {
+  /// Flat binary heap over one contiguous vector.  O(log n) push/pop, no
+  /// tuning parameters; the reference backend.
+  kBinaryHeap = 0,
+  /// Calendar queue (Brown): time-bucketed, lazily sorted buckets with
+  /// amortized O(1) push/pop at fig15-scale event densities; buckets resize
+  /// to track the live event population.
+  kCalendar = 1,
+};
+
+struct EventQueueOptions {
+  EventQueueBackend backend = EventQueueBackend::kBinaryHeap;
+
+  /// Number of per-node-group event lanes (shards).  1 keeps the classic
+  /// single-lane queue with no worker threads.  With k > 1, events that
+  /// carry a home node are routed to that node group's lane and one worker
+  /// thread per lane performs deferred queue maintenance behind the lane's
+  /// mutex; the driver merges lane heads deterministically, so the observed
+  /// pop order is bit-identical for every shard count.
+  std::uint32_t shards = 1;
+
+  /// Cluster size used to map a home node to its lane; 0 routes everything
+  /// to the central lane (equivalent to shards = 1 for ordering purposes,
+  /// trivially, since ordering never depends on lane assignment at all).
+  std::uint32_t num_nodes = 0;
+};
+
+}  // namespace ssr

@@ -1,9 +1,13 @@
 // Seeded bug: iterating an unordered_map in a function that schedules
-// events.  Hash order leaks straight into the event stream.
-// Expected: ssr-analyze flags [nondet-iteration] on both loops.
+// events.  Hash order leaks straight into the event stream — including
+// when the map is shard-worker state reached through a local lane
+// reference rather than a member of the enclosing class.
+// Expected: ssr-analyze flags [nondet-iteration] on all three loops.
+#include <cstddef>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace fixture {
 
@@ -30,6 +34,26 @@ class BadDispatcher {
   Simulator sim_;
   std::unordered_map<int, double> pending_;
   std::unordered_set<int> dirty_;
+};
+
+// Shard-worker state: the per-lane map is only reachable through a local
+// reference, so the loop's hash-order hazard hides behind one indirection.
+struct WorkerLane {
+  std::unordered_map<int, double> by_node;
+};
+
+class BadShardedDispatcher {
+ public:
+  void drain(std::size_t i) {
+    WorkerLane& lane = lanes_[i];
+    for (const auto& [node, t] : lane.by_node) {  // BAD: hash order
+      sim_.schedule_at(t, node);
+    }
+  }
+
+ private:
+  Simulator sim_;
+  std::vector<WorkerLane> lanes_;
 };
 
 }  // namespace fixture

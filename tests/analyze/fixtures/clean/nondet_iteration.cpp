@@ -2,9 +2,13 @@
 // unordered map is only ever used for point lookups, never iterated on a
 // path that reaches a sink.
 // Expected: ssr-analyze reports nothing.
+#include <algorithm>
+#include <cstddef>
 #include <map>
 #include <set>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace fixture {
 
@@ -37,6 +41,29 @@ class CleanDispatcher {
   std::map<int, double> pending_;
   std::set<int> dirty_;
   std::unordered_map<int, double> cache_;
+};
+
+// Clean shard-worker state: the per-lane unordered map is snapshotted and
+// sorted before anything reaches the event stream.
+struct OrderedLane {
+  std::unordered_map<int, double> by_node;
+};
+
+class CleanShardedDispatcher {
+ public:
+  void drain(std::size_t i) {
+    OrderedLane& lane = lanes_[i];
+    std::vector<std::pair<int, double>> snap(lane.by_node.begin(),
+                                             lane.by_node.end());
+    std::sort(snap.begin(), snap.end());
+    for (const auto& [node, t] : snap) {  // sorted snapshot: reproducible
+      sim_.schedule_at(t, node);
+    }
+  }
+
+ private:
+  Simulator sim_;
+  std::vector<OrderedLane> lanes_;
 };
 
 }  // namespace fixture

@@ -30,9 +30,9 @@ RULES = [
 
 # rule -> minimum number of findings its bad fixture must produce.
 EXPECTED_MIN = {
-    "nondet-iteration": 2,
+    "nondet-iteration": 3,
     "pointer-keyed-order": 2,
-    "lock-discipline": 1,
+    "lock-discipline": 2,
     "observer-schema": 3,
     "sim-time-arith": 3,
     "nondet-api": 6,

@@ -154,9 +154,13 @@ struct TrialResult {
 };
 
 TrialResult run_trial(const TrialParams& p, bool reference,
-                      bool empty_injector = false) {
+                      bool empty_injector = false,
+                      EventQueueBackend backend = EventQueueBackend::kBinaryHeap,
+                      std::uint32_t shards = 1) {
   SchedConfig cfg;
   cfg.locality_wait = p.locality_wait;
+  cfg.event_queue_backend = backend;
+  cfg.event_shards = shards;
   Engine engine(cfg, p.nodes, p.slots_per_node, p.engine_seed);
   std::unique_ptr<ReservationHook> hook = make_hook(p);
   if (reference) {
@@ -230,6 +234,40 @@ TEST(DifferentialSelection, ReferenceSelectorIsTransparent) {
   engine.submit(make_kmeans(p.fg_parallelism, 10, p.fg_submit));
   engine.run();
   EXPECT_EQ(log.events, run_trial(p, true).events);
+}
+
+// The optimized selection must also match the reference when the *event
+// queue* underneath is swapped for the calendar backend and sharded lanes:
+// the optimized run uses each alternate configuration while the reference
+// run stays on the sequential binary heap, so a single comparison covers
+// both the candidate-enumeration equivalence and the queue's bit-identical
+// merge contract (DESIGN.md §13) in one differential signal.
+TEST(DifferentialSelection, OptimizedShardedEnginesMatchSequentialReference) {
+  struct Alt {
+    EventQueueBackend backend;
+    std::uint32_t shards;
+  };
+  const Alt alts[] = {{EventQueueBackend::kCalendar, 1},
+                      {EventQueueBackend::kBinaryHeap, 4},
+                      {EventQueueBackend::kCalendar, 4}};
+  for (std::uint64_t trial = 0; trial < 60; ++trial) {
+    const TrialParams p = derive_params(trial);
+    const std::vector<SchedEvent> reference = run_trial(p, true).events;
+    for (const Alt& alt : alts) {
+      const std::vector<SchedEvent> optimized =
+          run_trial(p, false, false, alt.backend, alt.shards).events;
+      ASSERT_EQ(optimized.size(), reference.size())
+          << "trial " << trial << " shards " << alt.shards << " backend "
+          << static_cast<int>(alt.backend) << ": event counts diverged";
+      for (std::size_t i = 0; i < optimized.size(); ++i) {
+        ASSERT_EQ(optimized[i], reference[i])
+            << "trial " << trial << " shards " << alt.shards << " backend "
+            << static_cast<int>(alt.backend) << " diverged at event " << i
+            << ":\n  optimized: " << describe(optimized[i])
+            << "\n  reference: " << describe(reference[i]);
+      }
+    }
+  }
 }
 
 // A FailureInjector attached with an empty schedule must leave the run

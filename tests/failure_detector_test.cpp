@@ -331,7 +331,10 @@ TEST(FailureDetectorDifferential, CleanChannelOnHealthyClusterIsNoOp) {
 
 /// Time of the first slot_failed event in the run's capture.
 SimTime first_slot_failure_at(const std::string& capture_path) {
-  for (const TraceEvent& e : TraceReplayer::from_file(capture_path).events()) {
+  // Bind the replayer to a local: a range-for over the temporary's
+  // events() would iterate a vector the temporary takes with it.
+  const TraceReplayer replayer = TraceReplayer::from_file(capture_path);
+  for (const TraceEvent& e : replayer.events()) {
     if (e.kind == TraceEventKind::kSlotFailed) return e.time;
   }
   ADD_FAILURE() << "no slot_failed event in " << capture_path;

@@ -1,0 +1,403 @@
+// Shard-count determinism suite: the DESIGN.md §13 contract, as a test.
+//
+// The sharded event queue and the calendar backend are *pure performance
+// knobs*: for any backend x shard-count configuration the engine must
+// produce output bit-identical to the sequential reference (binary heap,
+// one shard) — same observer event stream, same metric digest, same
+// RunResult, same binary trace capture.  This suite pins that contract on
+// two fronts:
+//
+//  * the committed golden scenarios (fig12/fig14/fig15/failure_recovery),
+//    whose digests every configuration must reproduce byte for byte; and
+//  * 108 seeded random scenarios — 60 closed-batch and 48 open-system —
+//    with random node-failure schedules and (on half the closed trials)
+//    heartbeat-detector noise, so the equality claim covers the kill /
+//    re-queue / copy-race / false-suspicion machinery, not just the happy
+//    path.
+//
+// Every comparison includes the ssr-trace capture bytes: the trace is the
+// full observer stream (metrics/trace_capture.h), so byte equality there
+// means event-for-event identical scheduling, not merely equal totals.
+//
+// CI matrix hook: SSR_SHARDS=<n> in the environment narrows the shard list
+// to {n} (the sequential reference always runs), letting the tsan leg split
+// shard counts across matrix jobs.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ssr/exp/open_scenario.h"
+#include "ssr/exp/run_digest.h"
+#include "ssr/exp/scenario.h"
+#include "ssr/sim/failure_injector.h"
+#include "ssr/workload/mlbench.h"
+#include "ssr/workload/open_arrival.h"
+#include "ssr/workload/tracegen.h"
+
+#include "golden_scenarios.h"
+#include "run_digest.h"
+
+namespace ssr {
+namespace {
+
+struct QueueConfig {
+  EventQueueBackend backend;
+  std::uint32_t shards;
+};
+
+std::string config_name(const QueueConfig& c) {
+  std::string name =
+      c.backend == EventQueueBackend::kBinaryHeap ? "heap" : "calendar";
+  return name + "/shards=" + std::to_string(c.shards);
+}
+
+// The full matrix: both backends x shards {1, 2, 4, 8}.  heap/1 is also the
+// reference configuration; keeping it in the matrix makes the comparison
+// framework itself part of what is tested (reference vs itself must hold).
+std::vector<QueueConfig> all_configs() {
+  std::vector<std::uint32_t> shard_counts = {1, 2, 4, 8};
+  if (const char* env = std::getenv("SSR_SHARDS")) {
+    const std::string text(env);
+    if (!text.empty() &&
+        text.find_first_not_of("0123456789") == std::string::npos) {
+      const unsigned long n = std::stoul(text);
+      if (n >= 1 && n <= 256) {
+        shard_counts = {static_cast<std::uint32_t>(n)};
+      }
+    }
+  }
+  std::vector<QueueConfig> configs;
+  for (const EventQueueBackend backend :
+       {EventQueueBackend::kBinaryHeap, EventQueueBackend::kCalendar}) {
+    for (const std::uint32_t shards : shard_counts) {
+      configs.push_back({backend, shards});
+    }
+  }
+  return configs;
+}
+
+void apply_config(RunOptions& o, const QueueConfig& c) {
+  o.sched.event_queue_backend = c.backend;
+  o.sched.event_shards = c.shards;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read trace capture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Digest + the fields append_run_digest leaves out, so "equal" here means
+// the *whole* RunResult, tenants included.
+void expect_results_equal(const RunResult& ref, const RunResult& got,
+                          const std::string& what) {
+  std::ostringstream ref_digest, got_digest;
+  append_run_digest(ref_digest, what, ref);
+  append_run_digest(got_digest, what, got);
+  EXPECT_EQ(ref_digest.str(), got_digest.str()) << what << ": digest diverged";
+  EXPECT_EQ(ref.utilization, got.utilization) << what;
+  EXPECT_EQ(ref.dead_time, got.dead_time) << what;
+  EXPECT_EQ(ref.suspicions, got.suspicions) << what;
+  EXPECT_EQ(ref.false_suspicions, got.false_suspicions) << what;
+  ASSERT_EQ(ref.tenants.size(), got.tenants.size()) << what;
+  for (std::size_t i = 0; i < ref.tenants.size(); ++i) {
+    const TenantResult& a = ref.tenants[i];
+    const TenantResult& b = got.tenants[i];
+    EXPECT_EQ(a.name, b.name) << what;
+    EXPECT_EQ(a.admitted, b.admitted) << what << " tenant " << a.name;
+    EXPECT_EQ(a.rejected, b.rejected) << what << " tenant " << a.name;
+    EXPECT_EQ(a.completed, b.completed) << what << " tenant " << a.name;
+    EXPECT_EQ(a.queued, b.queued) << what << " tenant " << a.name;
+    EXPECT_EQ(a.peak_demand, b.peak_demand) << what << " tenant " << a.name;
+    EXPECT_EQ(a.mean_queue_delay, b.mean_queue_delay)
+        << what << " tenant " << a.name;
+    EXPECT_EQ(a.max_queue_delay, b.max_queue_delay)
+        << what << " tenant " << a.name;
+    EXPECT_EQ(a.mean_jct, b.mean_jct) << what << " tenant " << a.name;
+  }
+}
+
+// --- Golden-scenario leg ----------------------------------------------------
+//
+// Every configuration must reproduce the *committed* golden digests (not
+// merely agree with a fresh sequential run): the goldens were generated by
+// the sequential engine, so matching them is the bit-identical claim against
+// the strongest available reference.
+
+TEST(ShardDeterminism, GoldenScenariosReproduceCommittedDigests) {
+  const std::vector<QueueConfig> configs = all_configs();
+  for (const GoldenScenario& scenario : golden_scenarios()) {
+    const std::optional<std::string> expected = read_golden(scenario.file);
+    ASSERT_TRUE(expected.has_value())
+        << "missing golden " << scenario.file
+        << " — regenerate with SSR_UPDATE_GOLDEN=1 ./tests/golden_replay_test";
+    for (const QueueConfig& config : configs) {
+      SCOPED_TRACE(scenario.name + " under " + config_name(config));
+      std::ostringstream digest;
+      for (const GoldenPass& pass : scenario.passes) {
+        RunOptions o = pass.options;
+        apply_config(o, config);
+        append_run(digest, pass.title,
+                   run_scenario(scenario.cluster, pass.jobs, o));
+      }
+      EXPECT_EQ(*expected, digest.str())
+          << scenario.name << " digest diverged under " << config_name(config);
+    }
+  }
+}
+
+TEST(ShardDeterminism, GoldenTraceCapturesAreByteIdentical) {
+  // Trace the failure-recovery golden (the richest event mix: kills,
+  // re-queues, copy races, invalidations) under every configuration and
+  // require byte-equal captures.
+  const GoldenScenario scenario = failure_recovery_scenario();
+  const std::string ref_path = ::testing::TempDir() + "shard_ref.trace";
+  const std::string got_path = ::testing::TempDir() + "shard_got.trace";
+
+  const GoldenPass& pass = scenario.passes.front();
+  RunOptions ref_options = pass.options;
+  ref_options.capture_path = ref_path;
+  run_scenario(scenario.cluster, pass.jobs, ref_options);
+  const std::string ref_bytes = file_bytes(ref_path);
+  ASSERT_FALSE(ref_bytes.empty());
+
+  for (const QueueConfig& config : all_configs()) {
+    RunOptions o = pass.options;
+    apply_config(o, config);
+    o.capture_path = got_path;
+    run_scenario(scenario.cluster, pass.jobs, o);
+    EXPECT_TRUE(ref_bytes == file_bytes(got_path))
+        << "trace capture diverged under " << config_name(config);
+  }
+}
+
+// --- Random closed-batch leg ------------------------------------------------
+//
+// Chaos-sized scenarios (small clusters, trace background + KMeans
+// foreground) with seeded random node-failure schedules; odd trials add
+// heartbeat-detector noise so false suspicions flow through the comparison.
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct ClosedScenario {
+  ClusterSpec cluster;
+  std::vector<JobSpec> jobs;
+  RunOptions options;
+};
+
+ClosedScenario derive_closed(std::uint64_t trial) {
+  std::uint64_t s = 0x5aa4dull ^ (trial * 0xb5adull);
+  ClosedScenario sc;
+  sc.cluster.nodes = 2 + static_cast<std::uint32_t>(splitmix64(s) % 7);
+  sc.cluster.slots_per_node = 1 + static_cast<std::uint32_t>(splitmix64(s) % 2);
+
+  TraceGenConfig bg;
+  bg.num_jobs = 3 + static_cast<std::uint32_t>(splitmix64(s) % 6);
+  bg.window = 60.0 + static_cast<double>(splitmix64(s) % 4) * 30.0;
+  bg.large_job_max_tasks = 20;  // bound per-trial work
+  bg.seed = 17 + trial * 151;
+  sc.jobs = make_background_jobs(bg);
+  const std::uint32_t fg_par = 4 + static_cast<std::uint32_t>(splitmix64(s) % 6);
+  sc.jobs.push_back(make_kmeans(fg_par, 10, bg.window * 0.25));
+
+  RunOptions& o = sc.options;
+  const double waits[] = {0.0, 1.0, 3.0};
+  o.sched.locality_wait = waits[splitmix64(s) % 3];
+  o.seed = 1 + trial;
+  // Policy mix: none, strict SSR, deadline SSR, SSR + straggler copies.
+  switch (splitmix64(s) % 4) {
+    case 0:
+      break;
+    case 1:
+      o.ssr = SsrConfig{};
+      o.ssr->min_reserving_priority = 1;
+      break;
+    case 2:
+      o.ssr = SsrConfig{};
+      o.ssr->min_reserving_priority = 1;
+      o.ssr->isolation_p = 0.4;
+      break;
+    default:
+      o.ssr = SsrConfig{};
+      o.ssr->min_reserving_priority = 1;
+      o.ssr->enable_straggler_mitigation = true;
+      break;
+  }
+
+  RandomFailureConfig failures;
+  failures.num_nodes = sc.cluster.nodes;
+  failures.horizon = bg.window * 1.5;
+  failures.failures = 1 + static_cast<std::uint32_t>(splitmix64(s) % 4);
+  failures.min_downtime = 2.0;
+  failures.max_downtime = 25.0;
+  // Node 0 is never permanent, so liveness is well-defined.
+  failures.permanent_fraction = static_cast<double>(splitmix64(s) % 3) * 0.15;
+  failures.seed = 0x5fa11 + trial;
+  o.failures = make_random_node_failures(failures);
+
+  if (trial % 2 == 1) {
+    o.detector.heartbeat_period = 2.0 + static_cast<double>(splitmix64(s) % 4);
+    o.detector.timeout_beats = 2 + static_cast<std::uint32_t>(splitmix64(s) % 2);
+    o.detector.heartbeat_loss = 0.1 + static_cast<double>(splitmix64(s) % 3) * 0.1;
+    o.detector.noise_horizon = failures.horizon;
+    o.detector.seed = 0xd17 + trial;
+  }
+  return sc;
+}
+
+TEST(ShardDeterminism, RandomFailureScenariosMatchSequentialOn60Trials) {
+  constexpr std::uint64_t kTrials = 60;
+  const std::vector<QueueConfig> configs = all_configs();
+  const std::string ref_path = ::testing::TempDir() + "shard_closed_ref.trace";
+  const std::string got_path = ::testing::TempDir() + "shard_closed_got.trace";
+  std::uint64_t failed_runs = 0, noisy_runs = 0;
+  for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+    const ClosedScenario sc = derive_closed(trial);
+    RunOptions ref_options = sc.options;
+    ref_options.capture_path = ref_path;
+    const RunResult ref = run_scenario(sc.cluster, sc.jobs, ref_options);
+    const std::string ref_bytes = file_bytes(ref_path);
+    if (ref.recovery.slots_failed > 0) ++failed_runs;
+    if (ref.false_suspicions > 0) ++noisy_runs;
+
+    for (const QueueConfig& config : configs) {
+      const std::string what =
+          "closed trial " + std::to_string(trial) + " / " + config_name(config);
+      SCOPED_TRACE(what);
+      RunOptions o = sc.options;
+      apply_config(o, config);
+      o.capture_path = got_path;
+      const RunResult got = run_scenario(sc.cluster, sc.jobs, o);
+      expect_results_equal(ref, got, what);
+      EXPECT_TRUE(ref_bytes == file_bytes(got_path))
+          << what << ": trace capture diverged";
+    }
+  }
+  // The sweep must actually exercise failure recovery and detector noise —
+  // determinism over idle clusters would prove nothing.
+  EXPECT_GT(failed_runs, 20u);
+  EXPECT_GT(noisy_runs, 5u);
+}
+
+// --- Random open-system leg -------------------------------------------------
+//
+// Multi-tenant open-arrival runs (advance_to + admission + drain) with the
+// same failure machinery underneath: the stepping API must also be
+// backend/shard-invariant, tenant counters included.
+
+struct OpenScenarioCase {
+  ClusterSpec cluster;
+  OpenScenarioSpec spec;
+  std::vector<OpenTenantProfile> profiles;
+  std::uint64_t arrival_seed = 0;
+  RunOptions options;
+};
+
+OpenScenarioCase derive_open(std::uint64_t trial) {
+  std::uint64_t s = 0x09e27ull ^ (trial * 0x8c5full);
+  OpenScenarioCase sc;
+  sc.cluster.nodes = 3 + static_cast<std::uint32_t>(splitmix64(s) % 6);
+  sc.cluster.slots_per_node = 1 + static_cast<std::uint32_t>(splitmix64(s) % 2);
+  const std::uint32_t total = sc.cluster.total_slots();
+
+  const std::uint32_t num_tenants =
+      2 + static_cast<std::uint32_t>(splitmix64(s) % 2);
+  double expected_span = 0.0;
+  for (std::uint32_t ti = 0; ti < num_tenants; ++ti) {
+    VirtualClusterSpec vc;
+    vc.name = "t" + std::to_string(ti);
+    vc.min_slots = static_cast<std::uint32_t>(splitmix64(s) % 2);
+    vc.max_slots = 2 + static_cast<std::uint32_t>(splitmix64(s) % total);
+    vc.queue_when_full = (splitmix64(s) % 4) != 0;
+    sc.spec.tenants.push_back(vc);
+
+    OpenTenantProfile prof;
+    prof.tenant = vc.name;
+    prof.mean_interarrival = 8.0 + static_cast<double>(splitmix64(s) % 4) * 6.0;
+    prof.num_jobs = 4 + static_cast<std::uint32_t>(splitmix64(s) % 5);
+    prof.min_parallelism = 2;
+    prof.max_parallelism = 2 + static_cast<std::uint32_t>(splitmix64(s) % 5);
+    prof.priority = static_cast<int>(splitmix64(s) % 3) * 5;
+    sc.profiles.push_back(prof);
+    expected_span =
+        std::max(expected_span,
+                 prof.mean_interarrival * static_cast<double>(prof.num_jobs));
+  }
+  sc.arrival_seed = 0x40004 + trial * 7;
+
+  RunOptions& o = sc.options;
+  const double waits[] = {0.0, 1.0, 3.0};
+  o.sched.locality_wait = waits[splitmix64(s) % 3];
+  o.seed = 0x30003 + trial;
+  if (splitmix64(s) % 2 == 0) {
+    o.ssr = SsrConfig{};
+    o.ssr->min_reserving_priority = 1;
+  }
+
+  RandomFailureConfig failures;
+  failures.num_nodes = sc.cluster.nodes;
+  failures.horizon = expected_span * 1.5;
+  failures.failures = 1 + static_cast<std::uint32_t>(splitmix64(s) % 4);
+  failures.min_downtime = 2.0;
+  failures.max_downtime = 25.0;
+  failures.permanent_fraction = static_cast<double>(splitmix64(s) % 3) * 0.15;
+  failures.seed = 0x6fa11 + trial * 3;
+  o.failures = make_random_node_failures(failures);
+  return sc;
+}
+
+TEST(ShardDeterminism, OpenSystemScenariosMatchSequentialOn48Trials) {
+  constexpr std::uint64_t kTrials = 48;
+  const std::vector<QueueConfig> configs = all_configs();
+  const std::string ref_path = ::testing::TempDir() + "shard_open_ref.trace";
+  const std::string got_path = ::testing::TempDir() + "shard_open_got.trace";
+  std::uint64_t failed_runs = 0, admission_traffic = 0;
+  for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+    const OpenScenarioCase sc = derive_open(trial);
+    RunOptions ref_options = sc.options;
+    ref_options.capture_path = ref_path;
+    const RunResult ref = run_open_scenario(
+        sc.cluster, sc.spec, make_open_arrivals(sc.profiles, sc.arrival_seed),
+        ref_options);
+    const std::string ref_bytes = file_bytes(ref_path);
+    if (ref.recovery.slots_failed > 0) ++failed_runs;
+    for (const TenantResult& t : ref.tenants) {
+      admission_traffic += t.queued + t.rejected;
+    }
+
+    for (const QueueConfig& config : configs) {
+      const std::string what =
+          "open trial " + std::to_string(trial) + " / " + config_name(config);
+      SCOPED_TRACE(what);
+      RunOptions o = sc.options;
+      apply_config(o, config);
+      o.capture_path = got_path;
+      const RunResult got = run_open_scenario(
+          sc.cluster, sc.spec, make_open_arrivals(sc.profiles, sc.arrival_seed),
+          o);
+      expect_results_equal(ref, got, what);
+      EXPECT_TRUE(ref_bytes == file_bytes(got_path))
+          << what << ": trace capture diverged";
+    }
+  }
+  // The open sweep must hit real failures and real admission-control traffic.
+  EXPECT_GT(failed_runs, 15u);
+  EXPECT_GT(admission_traffic, 20u);
+}
+
+}  // namespace
+}  // namespace ssr
