@@ -8,8 +8,10 @@
 //
 // The (background x app x policy) grid runs in parallel on the sweep pool.
 #include <iostream>
+#include <string>
 
 #include "ssr/common/table.h"
+#include "ssr/exp/policy_zoo.h"
 #include "ssr/exp/sweep.h"
 #include "ssr/workload/mlbench.h"
 #include "ssr/workload/tracegen.h"
@@ -18,7 +20,8 @@ int main(int argc, char** argv) {
   using namespace ssr;
   const BenchArgs args = BenchArgs::parse(argc, argv);
 
-  const ClusterSpec cluster{.nodes = 50, .slots_per_node = 2};
+  const ClusterSpec cluster{
+      .nodes = 50, .slots_per_node = 2, .node_slots = {}};
   TraceGenConfig bg;
   bg.num_jobs = args.scaled(100);
   bg.window = 3600.0 / args.scale;
@@ -35,9 +38,19 @@ int main(int argc, char** argv) {
 
   RunOptions base;
   base.seed = args.seed;
+  // The second pass is SSR by default; `--policy NAME` swaps in any zoo
+  // policy (exp/policy_zoo.h) so the fig12 harness doubles as a per-policy
+  // isolation probe.  Without the flag the grid is byte-identical to the
+  // pre-zoo bench.
   RunOptions with_ssr = base;
-  with_ssr.ssr = SsrConfig{};  // P = 1: strict isolation
-  with_ssr.ssr->min_reserving_priority = 1;  // foreground class only
+  std::string policy_label = "ssr";
+  if (args.policy.empty()) {
+    with_ssr.ssr = SsrConfig{};  // P = 1: strict isolation
+    with_ssr.ssr->min_reserving_priority = 1;  // foreground class only
+  } else {
+    policy_label = args.policy;
+    apply_zoo_policy(*parse_zoo_policy(args.policy), cluster, with_ssr);
+  }
 
   // Grid layout: per app, one alone baseline (independent of the background
   // multiplier), then per bg_mult the [no-SSR, SSR] contended pair.
@@ -65,7 +78,7 @@ int main(int argc, char** argv) {
                             (pass == 0 ? "/nossr" : "/ssr"),
                         {{"app", app.name},
                          {"background", bg_mult == 1.0 ? "1x" : "2x"},
-                         {"policy", pass == 0 ? "none" : "ssr"}}});
+                         {"policy", pass == 0 ? "none" : policy_label}}});
       }
     }
   }
@@ -75,8 +88,9 @@ int main(int argc, char** argv) {
 
   std::cout << "Fig. 12: foreground slowdown with / without speculative "
                "slot reservation (50 nodes / 100 slots)\n\n";
-  TablePrinter table({"background", "job", "slowdown w/o SSR",
-                      "slowdown w/ SSR"});
+  const std::string column = args.policy.empty() ? "SSR" : policy_label;
+  TablePrinter table({"background", "job", "slowdown w/o " + column,
+                      "slowdown w/ " + column});
   const std::size_t num_apps = std::size(apps);
   for (std::size_t m = 0; m < std::size(bg_mults); ++m) {
     for (std::size_t a = 0; a < num_apps; ++a) {
@@ -93,9 +107,11 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   emit_sweep_outputs(args, results);
-  std::cout << "\nShape check: SSR pins every foreground job near 1.0x\n"
-               "(the paper reports < 10% slowdown) in both settings, while\n"
-               "the baseline suffers multi-x slowdowns that grow with\n"
-               "background task duration.\n";
+  if (args.policy.empty()) {
+    std::cout << "\nShape check: SSR pins every foreground job near 1.0x\n"
+                 "(the paper reports < 10% slowdown) in both settings, while\n"
+                 "the baseline suffers multi-x slowdowns that grow with\n"
+                 "background task duration.\n";
+  }
   return 0;
 }

@@ -16,13 +16,38 @@ namespace ssr {
 struct Resources {
   double cpu = 1.0;
   double memory = 1.0;
+  double net = 1.0;
 
   /// Componentwise: can a demand of `*this` be served by `capacity`?
   bool fits_in(const Resources& capacity) const {
-    return cpu <= capacity.cpu && memory <= capacity.memory;
+    return cpu <= capacity.cpu && memory <= capacity.memory &&
+           net <= capacity.net;
   }
+
+  /// Componentwise sum/difference — used by packing policies and the
+  /// resource-conservation property tests.  Differences may go negative;
+  /// callers that care about over-commit check `fits_in` first.
+  Resources operator+(const Resources& o) const {
+    return {cpu + o.cpu, memory + o.memory, net + o.net};
+  }
+  Resources operator-(const Resources& o) const {
+    return {cpu - o.cpu, memory - o.memory, net - o.net};
+  }
+
+  /// Scalar magnitude used by packing scores (Tetris-style alignment
+  /// denominators).  Deterministic: plain sums of the components.
+  double total() const { return cpu + memory + net; }
 
   bool operator==(const Resources&) const = default;
 };
+
+/// Best-fit waste of placing `demand` on a slot of `capacity`: the summed
+/// componentwise slack.  Smaller is a tighter fit.  Assumes
+/// `demand.fits_in(capacity)`, so every component is non-negative.
+inline double packing_waste(const Resources& demand,
+                            const Resources& capacity) {
+  return (capacity.cpu - demand.cpu) + (capacity.memory - demand.memory) +
+         (capacity.net - demand.net);
+}
 
 }  // namespace ssr

@@ -41,7 +41,7 @@ struct StageSpec {
   std::optional<std::vector<double>> explicit_durations;
 
   /// Per-task resource demand (Sec. III-C): a task may only run on a slot
-  /// whose capacity covers it.  Defaults to {1, 1}, matching homogeneous
+  /// whose capacity covers it.  Defaults to {1, 1, 1}, matching homogeneous
   /// Spark slots.
   Resources demand;
 };

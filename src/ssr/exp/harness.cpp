@@ -13,7 +13,7 @@ namespace ssr {
 ScenarioHarness::ScenarioHarness(const ClusterSpec& cluster,
                                  const RunOptions& options)
     : engine_(options.sched, cluster.nodes, cluster.slots_per_node,
-              options.seed),
+              cluster.node_slots, options.seed),
       detection_(
           detect_failures(options.failures, options.detector, cluster.nodes)),
       injector_(detection_.detected),

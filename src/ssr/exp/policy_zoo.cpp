@@ -1,0 +1,80 @@
+#include "ssr/exp/policy_zoo.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "ssr/sched/policies/dagps_selector.h"
+#include "ssr/sched/policies/packing_selector.h"
+
+namespace ssr {
+
+const std::vector<ZooPolicy>& all_zoo_policies() {
+  static const std::vector<ZooPolicy> kAll = {
+      ZooPolicy::kBaseline, ZooPolicy::kSsr, ZooPolicy::kDagps,
+      ZooPolicy::kPacking, ZooPolicy::kTableDriven};
+  return kAll;
+}
+
+const char* zoo_policy_name(ZooPolicy policy) {
+  switch (policy) {
+    case ZooPolicy::kBaseline:
+      return "baseline";
+    case ZooPolicy::kSsr:
+      return "ssr";
+    case ZooPolicy::kDagps:
+      return "dagps";
+    case ZooPolicy::kPacking:
+      return "packing";
+    case ZooPolicy::kTableDriven:
+      return "table";
+  }
+  return "unknown";
+}
+
+std::optional<ZooPolicy> parse_zoo_policy(const std::string& name) {
+  for (ZooPolicy p : all_zoo_policies()) {
+    if (name == zoo_policy_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+TableDrivenConfig default_table_config(const ClusterSpec& cluster) {
+  TableDrivenConfig table;
+  // A short cycle at 75% duty: the protected class never waits more than
+  // 15 s for a window, and during windows a fifth of the cluster is walled
+  // off whether or not the class has work — the hard-isolation posture,
+  // priced in reserved-idle slot-seconds.
+  table.major_cycle = 60.0;
+  table.intervals = {{0.0, 45.0}};
+  table.reserved_slots = std::max<std::uint32_t>(1, cluster.total_slots() / 5);
+  table.class_min_priority = 1;
+  return table;
+}
+
+void apply_zoo_policy(ZooPolicy policy, const ClusterSpec& cluster,
+                      RunOptions& options) {
+  options.ssr.reset();
+  options.hook_factory = nullptr;
+  options.sched.selector = nullptr;
+  switch (policy) {
+    case ZooPolicy::kBaseline:
+      break;
+    case ZooPolicy::kSsr:
+      options.ssr = SsrConfig{};
+      options.ssr->min_reserving_priority = 1;
+      break;
+    case ZooPolicy::kDagps:
+      options.sched.selector = std::make_shared<DagpsSelector>();
+      break;
+    case ZooPolicy::kPacking:
+      options.sched.selector = std::make_shared<PackingSelector>();
+      break;
+    case ZooPolicy::kTableDriven:
+      options.hook_factory = [table = default_table_config(cluster)] {
+        return std::make_unique<TableDrivenHook>(table);
+      };
+      break;
+  }
+}
+
+}  // namespace ssr

@@ -7,6 +7,7 @@
 
 #include "ssr/common/check.h"
 #include "ssr/exp/harness.h"
+#include "ssr/exp/policy_zoo.h"
 #include "ssr/sched/engine.h"
 
 namespace ssr {
@@ -129,12 +130,19 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       SSR_CHECK_MSG(shards >= 1 && shards <= 256,
                     "--shards must be in [1, 256]");
       args.shards = static_cast<std::uint32_t>(shards);
+    } else if (std::strcmp(argv[i], "--policy") == 0) {
+      args.policy = value_of(i);
+      SSR_CHECK_MSG(parse_zoo_policy(args.policy).has_value(),
+                    "--policy must be one of baseline, ssr, dagps, packing, "
+                    "table; got '"
+                        << args.policy << "'");
     } else {
       SSR_CHECK_MSG(false, "unknown argument '"
                                << argv[i]
                                << "' (expected --scale, --seed, --jobs, "
                                   "--csv, --json, --bench-json, "
-                                  "--metrics-json, --queue, or --shards)");
+                                  "--metrics-json, --queue, --shards, or "
+                                  "--policy)");
     }
   }
   return args;

@@ -25,7 +25,20 @@ struct ClusterSpec {
   std::uint32_t nodes = 50;
   std::uint32_t slots_per_node = 2;  ///< the paper's m4.large: 2 executors
 
-  std::uint32_t total_slots() const { return nodes * slots_per_node; }
+  /// Heterogeneous capacities (Sec. III-C): when non-empty, node_slots[i]
+  /// lists node i's slot capacity vectors, must have exactly `nodes`
+  /// entries, and `slots_per_node` is ignored.  Empty (the default) keeps
+  /// the homogeneous {1,1,1}-capacity cluster every golden was recorded on.
+  std::vector<std::vector<Resources>> node_slots;
+
+  std::uint32_t total_slots() const {
+    if (node_slots.empty()) return nodes * slots_per_node;
+    std::uint32_t total = 0;
+    for (const auto& slots : node_slots) {
+      total += static_cast<std::uint32_t>(slots.size());
+    }
+    return total;
+  }
 };
 
 struct RunOptions {
@@ -137,7 +150,8 @@ inline double slowdown(double measured_jct, double alone) {
 }
 
 /// Parse "--scale N", "--seed S", "--jobs N", "--csv F", "--json F",
-/// "--bench-json F", "--metrics-json F" overrides from a bench's argv.  scale divides workload sizes so CI
+/// "--bench-json F", "--metrics-json F", "--queue B", "--shards N",
+/// "--policy P" overrides from a bench's argv.  scale divides workload sizes so CI
 /// machines can run the large-scale simulations faster; 1 reproduces the
 /// paper-scale setup.  jobs sets the sweep worker-pool size (0 = one worker
 /// per hardware core).  Malformed or out-of-range values and unknown flags
@@ -161,6 +175,10 @@ struct BenchArgs {
   /// knobs (DESIGN.md §13).
   EventQueueBackend queue = EventQueueBackend::kBinaryHeap;
   std::uint32_t shards = 1;
+  /// Scheduling-policy selection ("--policy NAME").  Empty = the bench's
+  /// own default.  Benches that honour it resolve the name through
+  /// exp/policy_zoo.h (parse_zoo_policy validates at parse time).
+  std::string policy;
 
   static BenchArgs parse(int argc, char** argv);
   /// value / scale, at least 1 (for counts).

@@ -46,6 +46,22 @@ Engine::Engine(SchedConfig config,
   validate_sched_config(config_);
 }
 
+Engine::Engine(SchedConfig config, std::uint32_t num_nodes,
+               std::uint32_t slots_per_node,
+               const std::vector<std::vector<Resources>>& node_slots,
+               std::uint64_t seed)
+    : config_(config),
+      sim_(EventQueueOptions{config.event_queue_backend, config.event_shards,
+                             num_nodes}),
+      cluster_(node_slots.empty() ? Cluster(num_nodes, slots_per_node)
+                                  : Cluster(node_slots)),
+      rng_(seed),
+      hook_(std::make_unique<NullReservationHook>()) {
+  SSR_CHECK_MSG(node_slots.empty() || node_slots.size() == num_nodes,
+                "heterogeneous node_slots must cover every node");
+  validate_sched_config(config_);
+}
+
 Engine::~Engine() = default;
 
 JobId Engine::submit(JobSpec spec) {
@@ -249,8 +265,17 @@ void Engine::finish_job(JobId job) {
 
 Engine::ActiveStage Engine::make_active(StageRuntime& stage,
                                         const JobState& js) const {
+  // The selector score is sampled once, when the stage's task set becomes
+  // active.  Selectors are pure functions of spec-level state (DAG shape,
+  // expected durations, demand vectors), all fixed at submission, so caching
+  // is exact — and keeps the per-offer precedence scan free of virtual calls.
+  const double score =
+      config_.selector != nullptr
+          ? config_.selector->stage_score(*this, stage.id())
+          : 0.0;
   return ActiveStage{&stage,
                      &js,
+                     score,
                      js.graph.priority(),
                      js.graph.submit_time(),
                      js.graph.spec().fair_weight,
@@ -259,6 +284,12 @@ Engine::ActiveStage Engine::make_active(StageRuntime& stage,
 }
 
 bool Engine::active_precedes(const ActiveStage& a, const ActiveStage& b) const {
+  // Selector scores outrank the built-in policy; with no selector installed
+  // every score is the same 0.0 and this comparison vanishes, keeping the
+  // default ordering byte-identical to the pre-selector engine.
+  if (a.policy_score != b.policy_score) {
+    return a.policy_score > b.policy_score;
+  }
   if (config_.policy == SchedulingPolicy::Fair) {
     // The division must stay a division (not a cached reciprocal multiply):
     // the fair share's exact ULPs participate in tie-breaking, and digests
@@ -409,6 +440,17 @@ void Engine::place_stage_tasks(StageRuntime& stage) {
       append_overridable_reserved(job, state(job).graph.priority(), candidates);
     }
     // NeverApprove: approve() rejects every reserved slot; nothing to add.
+  }
+
+  // Slot-ranking seam (DESIGN.md §14): a selector may permute the candidate
+  // list (e.g. best-fit packing) before the placement loop.  Sound for the
+  // same reason the indexed pruning above is: the loop's per-slot checks are
+  // unchanged and acceptance is monotone, so reordering changes *which*
+  // acceptable slots the earliest pending tasks land on, never whether a
+  // slot is acceptable.  Both the reference and indexed enumerations pass
+  // through here, so the differential suite covers ranked placement too.
+  if (config_.selector != nullptr) {
+    config_.selector->rank_slots(*this, stage.id(), candidates);
   }
 
   for (SlotId slot : candidates) {

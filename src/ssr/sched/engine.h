@@ -74,6 +74,15 @@ class Engine : public FailureSink {
   Engine(SchedConfig config,
          const std::vector<std::vector<Resources>>& node_slots,
          std::uint64_t seed);
+
+  /// Dispatching ctor used by the experiment harness: an empty `node_slots`
+  /// builds the homogeneous cluster (exactly the first ctor — goldens depend
+  /// on that equivalence), a non-empty one the heterogeneous cluster and
+  /// must then have `num_nodes` entries.
+  Engine(SchedConfig config, std::uint32_t num_nodes,
+         std::uint32_t slots_per_node,
+         const std::vector<std::vector<Resources>>& node_slots,
+         std::uint64_t seed);
   ~Engine() override;
 
   Engine(const Engine&) = delete;
@@ -284,6 +293,7 @@ class Engine : public FailureSink {
   struct ActiveStage {
     StageRuntime* runtime;
     const JobState* job;       ///< for the (mutable) running_tasks share load
+    double policy_score;       ///< StageSelector::stage_score; 0 if none
     int priority;              ///< graph.priority()
     double submit_time;        ///< graph.submit_time()
     double fair_weight;        ///< graph.spec().fair_weight

@@ -1,0 +1,47 @@
+#include "ssr/sched/policies/dagps_selector.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "ssr/dag/job.h"
+#include "ssr/sched/engine.h"
+
+namespace ssr {
+
+namespace {
+
+/// Expected duration of one task of `spec`: the mean of the explicit
+/// per-task durations when the spec pins them, the distribution's analytical
+/// mean otherwise.  Both are pure spec-level quantities — no sampling.
+double expected_task_duration(const StageSpec& spec) {
+  if (spec.explicit_durations.has_value() &&
+      !spec.explicit_durations->empty()) {
+    double sum = 0.0;
+    for (double d : *spec.explicit_durations) sum += d;
+    return sum / static_cast<double>(spec.explicit_durations->size());
+  }
+  return spec.duration->mean();
+}
+
+}  // namespace
+
+double DagpsSelector::stage_score(const Engine& engine, StageId stage) const {
+  const JobGraph& graph = engine.graph(stage.job);
+  const std::uint32_t n = graph.num_stages();
+  // Stages are topological (parents have smaller indices), so one backward
+  // pass from the last stage down to `stage.index` fills every descendant's
+  // critical path before it is read.  Jobs are a handful of stages and the
+  // score is computed once per activation (the engine caches it in the
+  // active-stage table), so the O(stages + edges) pass is cheap.
+  std::vector<double> critical_path(n, 0.0);
+  for (std::uint32_t i = n; i-- > stage.index;) {
+    double longest_child = 0.0;
+    for (std::uint32_t child : graph.children(i)) {
+      longest_child = std::max(longest_child, critical_path[child]);
+    }
+    critical_path[i] = expected_task_duration(graph.stage(i)) + longest_child;
+  }
+  return critical_path[stage.index];
+}
+
+}  // namespace ssr

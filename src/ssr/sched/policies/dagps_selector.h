@@ -1,0 +1,31 @@
+// DAGPS-style "do the hard stuff first" stage selector (Grandl et al.,
+// "Graphene: Packing and Dependency-Aware Scheduling for Data-Parallel
+// Clusters", OSDI 2016 — see PAPERS.md).  Graphene identifies the
+// *troublesome* subset of a DAG — the tasks on the longest
+// expected-duration dependency chains — and schedules it first, so the
+// unavoidable critical path overlaps with everything else instead of
+// serializing after it.
+//
+// This selector is the stage-granular analogue over our barrier DAGs: a
+// stage's score is the critical-path length of the *remaining* DAG rooted at
+// it (its own expected task duration plus the longest chain of expected
+// durations through its descendants).  Stages on long chains therefore beat
+// stages that merely arrived earlier or belong to higher-priority jobs —
+// isolation is traded away for makespan, which is exactly the baseline the
+// shoot-out bench contrasts with SSR (DESIGN.md §14).
+#pragma once
+
+#include "ssr/sched/types.h"
+
+namespace ssr {
+
+class DagpsSelector : public StageSelector {
+ public:
+  /// Critical-path length from `stage` to the end of its job's DAG, in
+  /// expected (mean) seconds.  Deterministic: derived from spec-level
+  /// distribution means (or the mean of explicit durations), never from
+  /// sampled runtimes.
+  double stage_score(const Engine& engine, StageId stage) const override;
+};
+
+}  // namespace ssr

@@ -1,0 +1,38 @@
+#include "ssr/sched/policies/packing_selector.h"
+
+#include <algorithm>
+
+#include "ssr/common/resources.h"
+#include "ssr/dag/job.h"
+#include "ssr/sched/engine.h"
+#include "ssr/sim/cluster.h"
+
+namespace ssr {
+
+double PackingSelector::stage_score(const Engine& engine,
+                                    StageId stage) const {
+  return engine.graph(stage.job).stage(stage.index).demand.total();
+}
+
+bool PackingSelector::rank_slots(const Engine& engine, StageId stage,
+                                 std::vector<SlotId>& slots) const {
+  const Resources& demand =
+      engine.graph(stage.job).stage(stage.index).demand;
+  const Cluster& cluster = engine.cluster();
+  // Plain deterministic comparison: waste is exact double arithmetic over
+  // static capacities, and the slot id breaks every tie, so the order is a
+  // pure function of (demand, candidate set) — identical between the
+  // reference and indexed enumerations after their shared-prefix sets are
+  // sorted, which the differential suite relies on.  Slots too small for the
+  // demand sort by their (possibly negative) slack like any other; the
+  // placement loop's fits_in check rejects them regardless of position.
+  std::sort(slots.begin(), slots.end(), [&](SlotId a, SlotId b) {
+    const double wa = packing_waste(demand, cluster.slot(a).capacity());
+    const double wb = packing_waste(demand, cluster.slot(b).capacity());
+    if (wa != wb) return wa < wb;
+    return a < b;
+  });
+  return true;
+}
+
+}  // namespace ssr

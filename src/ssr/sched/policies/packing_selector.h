@@ -1,0 +1,37 @@
+// Multi-resource packing selector (Shafiee & Ghaderi — see PAPERS.md; in
+// the lineage of Tetris, Grandl et al. SIGCOMM 2014, and ant-ray's
+// cluster_resource_data scoring).  Two coupled decisions:
+//
+//  * stage order: resource-hungry stages first (descending demand
+//    magnitude), so big vector demands are placed while the slot mix is
+//    still rich instead of fragmenting the cluster with small tasks and
+//    stranding the big ones;
+//  * slot choice: best fit — among the slots a stage may take, pick the one
+//    whose capacity vector leaves the least summed slack over the demand,
+//    keeping large slots free for large demands.
+//
+// On a homogeneous cluster with uniform {1,1,1} demands both decisions
+// collapse to the built-in order (all scores and wastes tie, and the
+// id-order tie-break reproduces the engine's enumeration), which is what
+// keeps the scalar-slot goldens byte-identical.  The policy only bites when
+// the workload varies demand vectors (TraceGenConfig::vary_demand) or the
+// cluster has heterogeneous slot capacities.
+#pragma once
+
+#include "ssr/sched/types.h"
+
+namespace ssr {
+
+class PackingSelector : public StageSelector {
+ public:
+  /// Demand magnitude of the stage's per-task resource vector: cpu + mem +
+  /// net.  Bigger demands run first.
+  double stage_score(const Engine& engine, StageId stage) const override;
+
+  /// Best-fit order: ascending packing waste (summed componentwise slack of
+  /// capacity over demand), slot id as the deterministic tie-break.
+  bool rank_slots(const Engine& engine, StageId stage,
+                  std::vector<SlotId>& slots) const override;
+};
+
+}  // namespace ssr

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "ssr/common/ids.h"
 #include "ssr/common/time.h"
@@ -38,8 +40,50 @@ enum class SchedulingPolicy {
   Fair,
 };
 
+/// Pluggable stage-ordering / slot-ranking policy (the "policy zoo" seam,
+/// DESIGN.md §14).  A selector refines — it does not replace — the built-in
+/// SchedulingPolicy: when one is installed, active task sets are ordered by
+/// descending stage_score() first, and only ties fall through to the
+/// configured Priority/Fair comparison, so every selector inherits the
+/// engine's deterministic total order.  rank_slots() optionally reorders the
+/// candidate slots the engine already enumerated for a stage (e.g. best-fit
+/// packing); it must only permute the vector, never add or drop entries —
+/// the engine's approval logic stays the source of truth for which slots a
+/// stage may take.
+///
+/// Both methods must be pure functions of engine state: no mutation, no
+/// wall-clock/random input, no iteration-order dependence on unordered
+/// containers (the nondet-iteration analyzer rule treats them as sinks).
+/// Scores are doubles compared exactly, so derive them from deterministic
+/// arithmetic over spec values (DurationDist::mean(), Resources components).
+class StageSelector {
+ public:
+  virtual ~StageSelector() = default;
+
+  /// Priority score for an active stage's task set; higher runs first.
+  /// Called once when the stage's task set becomes active (scores are
+  /// cached, not re-polled per offer).
+  virtual double stage_score(const Engine& engine, StageId stage) const = 0;
+
+  /// Optionally reorder `slots` (best candidate first) for `stage`.  Return
+  /// false to keep the engine's id-order enumeration (the default).
+  virtual bool rank_slots(const Engine& engine, StageId stage,
+                          std::vector<SlotId>& slots) const {
+    (void)engine;
+    (void)stage;
+    (void)slots;
+    return false;
+  }
+};
+
 struct SchedConfig {
   SchedulingPolicy policy = SchedulingPolicy::Priority;
+
+  /// Optional stage-ordering/slot-ranking policy.  Null (the default) keeps
+  /// the built-in Priority/Fair ordering byte-identical to before the
+  /// selector seam existed.  Shared, not owned: the same selector instance
+  /// may drive several engines (it is stateless by contract).
+  std::shared_ptr<const StageSelector> selector;
 
   /// How long a task set insists on data-local slots before accepting any
   /// slot (spark.locality.wait; the paper and we use 3 s).

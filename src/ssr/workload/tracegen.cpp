@@ -14,7 +14,16 @@ std::vector<JobSpec> make_background_jobs(const TraceGenConfig& config) {
   SSR_CHECK_MSG(config.runtime_multiplier > 0.0,
                 "runtime multiplier must be positive");
 
+  SSR_CHECK_MSG(!config.vary_demand ||
+                    (config.demand_min > 0.0 &&
+                     config.demand_min <= config.demand_max),
+                "demand range must satisfy 0 < min <= max");
+
   Rng rng(config.seed);
+  // Demand draws live on their own stream: the main stream's draw sequence
+  // (arrivals, sizes, phases) is part of the committed goldens and must not
+  // shift when demand variation is toggled.
+  Rng demand_rng(config.seed ^ 0xd3a1d5c0ffee5a1full);
   const double mean_task = config.mean_task_seconds / config.scale_down *
                            config.runtime_multiplier;
   const DurationDistPtr task_dist =
@@ -39,15 +48,23 @@ std::vector<JobSpec> make_background_jobs(const TraceGenConfig& config) {
     const auto tasks = static_cast<std::uint32_t>(
         rng.uniform_int(1, static_cast<std::int64_t>(max_tasks)));
 
+    const auto draw_demand = [&]() -> Resources {
+      return {demand_rng.uniform(config.demand_min, config.demand_max),
+              demand_rng.uniform(config.demand_min, config.demand_max),
+              demand_rng.uniform(config.demand_min, config.demand_max)};
+    };
+
     JobBuilder b("bg-" + std::to_string(i));
     b.priority(config.priority).submit_at(submit).parallelism_known(false);
     b.stage(tasks, task_dist);
+    if (config.vary_demand) b.demand(draw_demand());
     if (rng.bernoulli(config.two_phase_fraction)) {
       // A reduce-like downstream phase, typically narrower.
       const std::uint32_t reduce_tasks = std::max<std::uint32_t>(
           1, static_cast<std::uint32_t>(
                  rng.uniform_int(1, std::max<std::int64_t>(1, tasks / 2))));
       b.stage(reduce_tasks, task_dist);
+      if (config.vary_demand) b.demand(draw_demand());
     }
     jobs.push_back(b.build());
   }

@@ -33,6 +33,19 @@ struct TraceGenConfig {
   double large_job_fraction = 0.3;  ///< the resource-hungry minority
   int priority = 0;
   std::uint64_t seed = 12345;
+
+  /// When true, every stage draws a per-task resource-demand vector with
+  /// each component uniform in [demand_min, demand_max] (cpu/mem/net drawn
+  /// independently).  The draws come from a *separate* RNG stream derived
+  /// from `seed`, so turning this on does not perturb the arrival /
+  /// parallelism / duration draws above — and the default (off) leaves the
+  /// byte-exact job mix every committed golden was recorded with.  Demands
+  /// never exceed 1.0, so they fit the default unit slot; the knob exists
+  /// to give the multi-resource packing policy (DESIGN.md §14) a workload
+  /// with real packing decisions.
+  bool vary_demand = false;
+  double demand_min = 0.25;
+  double demand_max = 1.0;
 };
 
 /// Synthesize the background job mix.  Deterministic in `config.seed`.

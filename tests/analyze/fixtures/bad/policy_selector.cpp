@@ -1,0 +1,81 @@
+// Seeded bug: a StageSelector policy iterating unordered containers on the
+// dispatch path.  The engine consults stage_score / rank_slots while
+// ordering stages and slots, so hash order leaks straight into placement
+// decisions — including through a helper called from the override, where
+// the hazard hides one frame below the entry point.
+// Expected: ssr-analyze flags [nondet-iteration] on all three loops.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+class Engine;
+
+class StageSelector {
+ public:
+  virtual ~StageSelector() = default;
+  virtual double stage_score(const Engine& engine, std::uint64_t stage) const = 0;
+  virtual bool rank_slots(const Engine& engine, std::uint64_t stage,
+                          std::vector<std::uint32_t>& slots) const = 0;
+};
+
+class BadHashSelector : public StageSelector {
+ public:
+  double stage_score(const Engine& engine, std::uint64_t stage) const override {
+    (void)engine;
+    double score = 0.0;
+    for (const auto& [id, rank] : ranks_) {  // BAD: hash order
+      if (id == stage) score += rank;
+    }
+    return score;
+  }
+
+  bool rank_slots(const Engine& engine, std::uint64_t stage,
+                  std::vector<std::uint32_t>& slots) const override {
+    (void)engine;
+    (void)stage;
+    slots.clear();
+    for (std::uint32_t slot : preferred_) {  // BAD: hash order
+      slots.push_back(slot);
+    }
+    return true;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, double> ranks_;
+  std::unordered_set<std::uint32_t> preferred_;
+};
+
+// The hazard one call below the override: the helper itself never touches a
+// sink, so only the caller->callee closure from the selector entry points
+// can see it.
+class BadIndirectSelector : public StageSelector {
+ public:
+  double stage_score(const Engine& engine, std::uint64_t stage) const override {
+    (void)engine;
+    return sum_weights(stage);
+  }
+
+  bool rank_slots(const Engine& engine, std::uint64_t stage,
+                  std::vector<std::uint32_t>& slots) const override {
+    (void)engine;
+    (void)stage;
+    (void)slots;
+    return false;
+  }
+
+ private:
+  double sum_weights(std::uint64_t stage) const {
+    double total = 0.0;
+    for (const auto& [id, w] : weights_) {  // BAD: hash order via helper
+      if (id <= stage) total += w;
+    }
+    return total;
+  }
+
+  std::unordered_map<std::uint64_t, double> weights_;
+};
+
+}  // namespace fixture

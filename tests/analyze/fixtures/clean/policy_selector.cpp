@@ -1,0 +1,81 @@
+// Clean counterpart: a StageSelector policy whose unordered state is only
+// point-looked-up on the dispatch path; the one iteration is sorted into a
+// snapshot before any ordering decision depends on it.
+// Expected: ssr-analyze reports nothing.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+class Engine;
+
+class StageSelector {
+ public:
+  virtual ~StageSelector() = default;
+  virtual double stage_score(const Engine& engine, std::uint64_t stage) const = 0;
+  virtual bool rank_slots(const Engine& engine, std::uint64_t stage,
+                          std::vector<std::uint32_t>& slots) const = 0;
+};
+
+class CleanSelector : public StageSelector {
+ public:
+  double stage_score(const Engine& engine, std::uint64_t stage) const override {
+    (void)engine;
+    auto it = ranks_.find(stage);  // point lookup only; never iterated
+    return it == ranks_.end() ? 0.0 : it->second;
+  }
+
+  bool rank_slots(const Engine& engine, std::uint64_t stage,
+                  std::vector<std::uint32_t>& slots) const override {
+    (void)engine;
+    (void)stage;
+    // Ordered map: iteration order is the key order, reproducible.
+    slots.clear();
+    for (const auto& [slot, weight] : slot_weights_) {
+      if (weight > 0.0) slots.push_back(slot);
+    }
+    return !slots.empty();
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, double> ranks_;
+  std::map<std::uint32_t, double> slot_weights_;
+};
+
+// Sorted-snapshot idiom below the dispatch path: the unordered state is
+// copied and sorted before its order can influence a placement decision.
+class CleanSnapshotSelector : public StageSelector {
+ public:
+  double stage_score(const Engine& engine, std::uint64_t stage) const override {
+    (void)engine;
+    return top_weight(stage);
+  }
+
+  bool rank_slots(const Engine& engine, std::uint64_t stage,
+                  std::vector<std::uint32_t>& slots) const override {
+    (void)engine;
+    (void)stage;
+    (void)slots;
+    return false;
+  }
+
+ private:
+  double top_weight(std::uint64_t stage) const {
+    std::vector<std::pair<std::uint64_t, double>> snap(weights_.begin(),
+                                                       weights_.end());
+    std::sort(snap.begin(), snap.end());
+    double total = 0.0;
+    for (const auto& [id, w] : snap) {  // sorted snapshot: reproducible
+      if (id <= stage) total += w;
+    }
+    return total;
+  }
+
+  std::unordered_map<std::uint64_t, double> weights_;
+};
+
+}  // namespace fixture

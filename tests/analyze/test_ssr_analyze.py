@@ -38,6 +38,15 @@ EXPECTED_MIN = {
     "nondet-api": 6,
 }
 
+# Extra fixture pairs that exercise one rule beyond its primary fixture:
+# fixture stem -> (rule, minimum findings in the bad variant).  The
+# policy_selector pair pins the StageSelector dispatch-path closure — a
+# selector override (or a helper below it) iterating an unordered container
+# must be flagged even though it never calls a sink itself.
+EXTRA_PAIRS = {
+    "policy_selector": ("nondet-iteration", 3),
+}
+
 
 def run_analyzer(*args):
     """Returns (exit_code, findings list, raw stdout)."""
@@ -56,43 +65,49 @@ def run_analyzer(*args):
 
 
 class BadFixturesAreFlagged(unittest.TestCase):
-    def check_bad(self, rule):
-        path = FIXTURES / "bad" / (rule.replace("-", "_") + ".cpp")
+    def check_bad(self, stem, rule, expected_min):
+        path = FIXTURES / "bad" / (stem + ".cpp")
         self.assertTrue(path.is_file(), f"missing fixture {path}")
         code, findings, out = run_analyzer(path)
         hits = [f for f in findings if f["rule"] == rule]
-        self.assertEqual(code, 1, f"{rule}: expected exit 1, got {code}\n{out}")
+        self.assertEqual(code, 1, f"{stem}: expected exit 1, got {code}\n{out}")
         self.assertGreaterEqual(
-            len(hits), EXPECTED_MIN[rule],
-            f"{rule}: expected >= {EXPECTED_MIN[rule]} findings, "
+            len(hits), expected_min,
+            f"{stem}: expected >= {expected_min} findings, "
             f"got {len(hits)}\n{out}")
         wrong = [f for f in findings if f["rule"] != rule]
         self.assertEqual(
-            wrong, [], f"{rule}: unexpected cross-rule findings\n{out}")
+            wrong, [], f"{stem}: unexpected cross-rule findings\n{out}")
 
 
 # One test method per rule so a broken rule names itself in the ctest log.
 for _rule in RULES:
     def _make(rule):
-        return lambda self: self.check_bad(rule)
+        return lambda self: self.check_bad(
+            rule.replace("-", "_"), rule, EXPECTED_MIN[rule])
     setattr(BadFixturesAreFlagged, f"test_{_rule.replace('-', '_')}",
             _make(_rule))
 
+for _stem, (_rule, _min) in EXTRA_PAIRS.items():
+    def _make_extra(stem, rule, expected_min):
+        return lambda self: self.check_bad(stem, rule, expected_min)
+    setattr(BadFixturesAreFlagged, f"test_{_stem}",
+            _make_extra(_stem, _rule, _min))
+
 
 class CleanFixturesPass(unittest.TestCase):
-    def check_clean(self, rule):
-        path = FIXTURES / "clean" / (rule.replace("-", "_") + ".cpp")
+    def check_clean(self, stem):
+        path = FIXTURES / "clean" / (stem + ".cpp")
         self.assertTrue(path.is_file(), f"missing fixture {path}")
         code, findings, out = run_analyzer(path)
-        self.assertEqual(code, 0, f"{rule}: clean fixture flagged\n{out}")
+        self.assertEqual(code, 0, f"{stem}: clean fixture flagged\n{out}")
         self.assertEqual(findings, [])
 
 
-for _rule in RULES:
-    def _make_clean(rule):
-        return lambda self: self.check_clean(rule)
-    setattr(CleanFixturesPass, f"test_{_rule.replace('-', '_')}",
-            _make_clean(_rule))
+for _stem in [r.replace("-", "_") for r in RULES] + sorted(EXTRA_PAIRS):
+    def _make_clean(stem):
+        return lambda self: self.check_clean(stem)
+    setattr(CleanFixturesPass, f"test_{_stem}", _make_clean(_stem))
 
 
 class Suppressions(unittest.TestCase):

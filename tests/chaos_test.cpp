@@ -30,6 +30,7 @@
 #include "ssr/audit/violation.h"
 #include "ssr/core/naive_policies.h"
 #include "ssr/core/reservation_manager.h"
+#include "ssr/exp/policy_zoo.h"
 #include "ssr/metrics/collectors.h"
 #include "ssr/sched/engine.h"
 #include "ssr/sched/virtual_cluster.h"
@@ -447,6 +448,110 @@ TEST(Chaos, OpenArrivalFailureRunsAreDeterministic) {
   EXPECT_EQ(a.recovery.slots_failed, b.recovery.slots_failed);
   EXPECT_EQ(a.recovery.tasks_failed, b.recovery.tasks_failed);
   EXPECT_EQ(a.recovery.tasks_requeued, b.recovery.tasks_requeued);
+}
+
+// --- Policy-zoo chaos leg ----------------------------------------------------
+//
+// Every zoo policy (exp/policy_zoo.h) replayed through the seeded chaos
+// trials — with per-stage demand vectors on — under the throw-on-violation
+// auditor.  Odd trials additionally route the truth schedule through a
+// lossy heartbeat detector, so each policy also faces late detections and
+// false suspicions.  The properties are the standard chaos contract:
+// liveness (every job completes), audit-clean, and failure paths actually
+// exercised.  The table-driven hook earns its keep here: expiry-driven
+// wakeups, reservations broken by node deaths, and the go-quiet-at-drain
+// rule all run under fault injection.
+
+TrialOutcome run_zoo_chaos_trial(ZooPolicy policy, const ChaosParams& p,
+                                 const FailureDetectorConfig& detector = {}) {
+  const ClusterSpec cluster{
+      .nodes = p.nodes, .slots_per_node = p.slots_per_node, .node_slots = {}};
+  RunOptions options;
+  options.sched.locality_wait = p.locality_wait;
+  apply_zoo_policy(policy, cluster, options);
+
+  Engine engine(options.sched, p.nodes, p.slots_per_node, p.engine_seed);
+  std::unique_ptr<ReservationHook> hook;
+  if (options.hook_factory) {
+    hook = options.hook_factory();
+  } else if (options.ssr.has_value()) {
+    hook = std::make_unique<ReservationManager>(*options.ssr);
+  } else {
+    hook = std::make_unique<NullReservationHook>();
+  }
+  engine.set_reservation_hook(std::move(hook));
+
+  RecoveryStatsCollector recovery;
+  engine.add_observer(&recovery);
+  audit::InvariantAuditor auditor;  // throw_on_violation = true
+  auditor.attach(engine);
+
+  const DetectionOutcome detection =
+      detect_failures(make_random_node_failures(p.failures), detector, p.nodes);
+  FailureInjector injector(detection.detected);
+  injector.attach(engine.sim(), engine);
+
+  TraceGenConfig bg = p.bg;
+  bg.vary_demand = true;
+  std::vector<JobId> ids;
+  for (JobSpec& spec : make_background_jobs(bg)) {
+    ids.push_back(engine.submit(std::move(spec)));
+  }
+  ids.push_back(engine.submit(make_kmeans(p.fg_parallelism, 10, p.fg_submit)));
+  engine.run();  // throws CheckError if any job wedges or an invariant breaks
+
+  for (JobId id : ids) {
+    EXPECT_TRUE(engine.job_finished(id)) << "job " << id << " never finished";
+  }
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+  return TrialOutcome{recovery.stats(), auditor.events_audited(),
+                      detection.suspicions.size(),
+                      detection.false_suspicions()};
+}
+
+TEST(Chaos, PolicyZooSurvivesFailuresAndDetectorNoiseOn40TrialsEach) {
+  constexpr std::uint64_t kTrialsPerPolicy = 40;
+  for (ZooPolicy policy : all_zoo_policies()) {
+    RecoveryStats totals;
+    std::uint64_t suspicions = 0;
+    for (std::uint64_t trial = 0; trial < kTrialsPerPolicy; ++trial) {
+      const ChaosParams p = derive_params(trial);
+      FailureDetectorConfig d;
+      if (trial % 2 == 1) {
+        d = derive_detector(trial);
+        d.noise_horizon = p.failures.horizon;
+      }
+      SCOPED_TRACE(std::string(zoo_policy_name(policy)) + " trial " +
+                   std::to_string(trial));
+      const TrialOutcome outcome = run_zoo_chaos_trial(policy, p, d);
+      ASSERT_GT(outcome.events_audited, 0u);
+      totals.slots_failed += outcome.recovery.slots_failed;
+      totals.slots_recovered += outcome.recovery.slots_recovered;
+      totals.tasks_failed += outcome.recovery.tasks_failed;
+      totals.tasks_requeued += outcome.recovery.tasks_requeued;
+      totals.reservations_broken += outcome.recovery.reservations_broken;
+      suspicions += outcome.suspicions;
+    }
+    // Per policy: the leg must actually exercise failure recovery and the
+    // detector-noise path, not just run clean scenarios.
+    EXPECT_GT(totals.slots_failed, 20u) << zoo_policy_name(policy);
+    EXPECT_GT(totals.tasks_requeued, 10u) << zoo_policy_name(policy);
+    EXPECT_GT(suspicions, 10u) << zoo_policy_name(policy);
+  }
+}
+
+// Reservation-carrying zoo policies must see their reservations broken by
+// node failures at least somewhere across the sweep — otherwise the
+// chaos leg never tests the hook's on_slot_failed reconciliation.
+TEST(Chaos, ZooReservationPoliciesSeeBrokenReservations) {
+  for (ZooPolicy policy : {ZooPolicy::kSsr, ZooPolicy::kTableDriven}) {
+    std::uint64_t broken = 0;
+    for (std::uint64_t trial = 0; trial < 40 && broken == 0; ++trial) {
+      const ChaosParams p = derive_params(trial);
+      broken += run_zoo_chaos_trial(policy, p).recovery.reservations_broken;
+    }
+    EXPECT_GT(broken, 0u) << zoo_policy_name(policy);
+  }
 }
 
 // --- Sharded-engine / calendar-queue legs -----------------------------------

@@ -24,8 +24,11 @@
 
 #include "ssr/core/naive_policies.h"
 #include "ssr/core/reservation_manager.h"
+#include "ssr/exp/harness.h"
+#include "ssr/exp/policy_zoo.h"
 #include "ssr/exp/scenario.h"
 #include "ssr/sched/engine.h"
+#include "ssr/sched/policies/table_driven.h"
 #include "ssr/sched/reference_selector.h"
 #include "ssr/workload/mlbench.h"
 #include "ssr/workload/tracegen.h"
@@ -265,6 +268,182 @@ TEST(DifferentialSelection, OptimizedShardedEnginesMatchSequentialReference) {
             << static_cast<int>(alt.backend) << " diverged at event " << i
             << ":\n  optimized: " << describe(optimized[i])
             << "\n  reference: " << describe(reference[i]);
+      }
+    }
+  }
+}
+
+// --- Policy-zoo legs ---------------------------------------------------------
+//
+// Every zoo policy (exp/policy_zoo.h) must uphold the same determinism
+// contract as the default scheduler: the complete scheduling event sequence
+// is a function of the scenario alone, not of the event-queue backend or
+// shard count (DESIGN.md §13).  Each trial randomizes cluster size, trace
+// mix and locality config exactly like the hook trials above, turns on
+// per-stage demand vectors (so the packing selector makes real decisions),
+// and runs through the full ScenarioHarness — under -DSSR_AUDIT=ON the
+// 12-invariant auditor rides every one of these runs.
+
+struct ZooOutcome {
+  std::vector<SchedEvent> events;
+  RunTotals totals;
+  RunResult run;
+  std::uint32_t total_slots = 0;
+};
+
+ZooOutcome run_zoo_trial(ZooPolicy policy, std::uint64_t trial,
+                         EventQueueBackend backend, std::uint32_t shards) {
+  const TrialParams p = derive_params(trial);
+  const ClusterSpec cluster{
+      .nodes = p.nodes, .slots_per_node = p.slots_per_node, .node_slots = {}};
+  RunOptions options;
+  options.seed = p.engine_seed;
+  options.sched.locality_wait = p.locality_wait;
+  apply_zoo_policy(policy, cluster, options);
+  options.sched.event_queue_backend = backend;
+  options.sched.event_shards = shards;
+  TraceGenConfig bg = p.bg;
+  bg.vary_demand = true;
+  ScenarioHarness harness(cluster, options);
+  EventLog log;
+  harness.engine().add_observer(&log);
+  std::vector<JobId> ids;
+  for (JobSpec& spec : make_background_jobs(bg)) {
+    ids.push_back(harness.engine().submit(std::move(spec)));
+  }
+  ids.push_back(
+      harness.engine().submit(make_kmeans(p.fg_parallelism, 10, p.fg_submit)));
+  harness.engine().run();
+  ZooOutcome out;
+  out.run = harness.collect(ids);
+  out.events = std::move(log.events);
+  out.totals.busy = harness.engine().cluster().total_busy_time();
+  out.totals.reserved_idle =
+      harness.engine().cluster().total_reserved_idle_time();
+  out.totals.dead = harness.engine().cluster().total_dead_time();
+  out.totals.now = harness.engine().sim().now();
+  out.total_slots = cluster.total_slots();
+  return out;
+}
+
+// Completion and conservation: every submitted job finishes, and the
+// per-job busy attribution sums back to the cluster's total busy time (the
+// two are accumulated by independent collectors, so agreement is a real
+// cross-check, not a tautology — tolerance covers summation order only).
+void check_zoo_run(const ZooOutcome& out, const std::string& label) {
+  ASSERT_FALSE(out.run.jobs.empty()) << label;
+  double attributed_busy = 0.0;
+  for (const JobResult& j : out.run.jobs) {
+    ASSERT_GT(j.jct, 0.0) << label << ": job " << j.name << " never finished";
+    ASSERT_GE(j.finish, j.submit) << label << ": job " << j.name;
+    attributed_busy += j.busy_seconds;
+  }
+  ASSERT_NEAR(attributed_busy, out.totals.busy,
+              1e-6 * std::max(1.0, out.totals.busy))
+      << label << ": per-job busy attribution lost slot-seconds";
+  // Slot-time conservation: busy + reserved-idle + dead slot-seconds can
+  // never exceed the cluster's capacity over the simulated horizon.
+  const double capacity =
+      static_cast<double>(out.total_slots) * out.totals.now;
+  ASSERT_LE(out.totals.busy + out.totals.reserved_idle + out.totals.dead,
+            capacity + 1e-6 * std::max(1.0, capacity))
+      << label << ": slot-time over-commit";
+}
+
+TEST(DifferentialSelection, ZooPoliciesAreBackendAndShardInvariant) {
+  constexpr std::uint64_t kTrialsPerPolicy = 40;
+  struct Alt {
+    EventQueueBackend backend;
+    std::uint32_t shards;
+  };
+  const Alt alts[] = {
+      {EventQueueBackend::kBinaryHeap, 2}, {EventQueueBackend::kBinaryHeap, 4},
+      {EventQueueBackend::kBinaryHeap, 8}, {EventQueueBackend::kCalendar, 1},
+      {EventQueueBackend::kCalendar, 2},   {EventQueueBackend::kCalendar, 4},
+      {EventQueueBackend::kCalendar, 8}};
+  for (ZooPolicy policy : all_zoo_policies()) {
+    for (std::uint64_t trial = 0; trial < kTrialsPerPolicy; ++trial) {
+      const std::string label = std::string(zoo_policy_name(policy)) +
+                                " trial " + std::to_string(trial);
+      const ZooOutcome reference =
+          run_zoo_trial(policy, trial, EventQueueBackend::kBinaryHeap, 1);
+      check_zoo_run(reference, label);
+      for (const Alt& alt : alts) {
+        const ZooOutcome other =
+            run_zoo_trial(policy, trial, alt.backend, alt.shards);
+        ASSERT_EQ(other.events.size(), reference.events.size())
+            << label << " shards " << alt.shards << " backend "
+            << static_cast<int>(alt.backend) << ": event counts diverged";
+        for (std::size_t i = 0; i < reference.events.size(); ++i) {
+          ASSERT_EQ(other.events[i], reference.events[i])
+              << label << " shards " << alt.shards << " backend "
+              << static_cast<int>(alt.backend) << " diverged at event " << i
+              << ":\n  alt:       " << describe(other.events[i])
+              << "\n  reference: " << describe(reference.events[i]);
+        }
+        ASSERT_TRUE(other.totals == reference.totals)
+            << label << " shards " << alt.shards << ": totals diverged";
+      }
+    }
+  }
+}
+
+// The selector seam must be path-independent: with a StageSelector (and,
+// for the table policy, a reservation hook) installed, the optimized
+// indexed candidate enumeration must make exactly the decisions of the
+// reference full-scan path.  rank_slots() permutes — never adds or drops —
+// candidates after enumeration on both paths, so acceptance-order equality
+// here is precisely the soundness claim in DESIGN.md §14.
+TEST(DifferentialSelection, ZooSelectorsMatchReferenceSelection) {
+  constexpr std::uint64_t kTrialsPerPolicy = 40;
+  const ZooPolicy selector_policies[] = {ZooPolicy::kDagps, ZooPolicy::kPacking,
+                                         ZooPolicy::kTableDriven};
+  for (ZooPolicy policy : selector_policies) {
+    for (std::uint64_t trial = 0; trial < kTrialsPerPolicy; ++trial) {
+      const TrialParams p = derive_params(trial);
+      const ClusterSpec cluster{.nodes = p.nodes,
+                                .slots_per_node = p.slots_per_node,
+                                .node_slots = {}};
+      RunOptions options;
+      options.seed = p.engine_seed;
+      options.sched.locality_wait = p.locality_wait;
+      apply_zoo_policy(policy, cluster, options);
+      TraceGenConfig bg = p.bg;
+      bg.vary_demand = true;
+
+      std::vector<SchedEvent> runs[2];
+      for (int reference = 0; reference < 2; ++reference) {
+        SchedConfig cfg = options.sched;
+        Engine engine(cfg, p.nodes, p.slots_per_node, p.engine_seed);
+        std::unique_ptr<ReservationHook> hook;
+        if (options.hook_factory) {
+          hook = options.hook_factory();
+        } else {
+          hook = std::make_unique<NullReservationHook>();
+        }
+        if (reference != 0) {
+          hook = std::make_unique<ReferenceSelector>(std::move(hook));
+        }
+        engine.set_reservation_hook(std::move(hook));
+        EventLog log;
+        engine.add_observer(&log);
+        TraceGenConfig cfg_bg = bg;
+        for (JobSpec& spec : make_background_jobs(cfg_bg)) {
+          engine.submit(std::move(spec));
+        }
+        engine.submit(make_kmeans(p.fg_parallelism, 10, p.fg_submit));
+        engine.run();
+        runs[reference] = std::move(log.events);
+      }
+      ASSERT_EQ(runs[0].size(), runs[1].size())
+          << zoo_policy_name(policy) << " trial " << trial
+          << ": event counts diverged";
+      for (std::size_t i = 0; i < runs[0].size(); ++i) {
+        ASSERT_EQ(runs[0][i], runs[1][i])
+            << zoo_policy_name(policy) << " trial " << trial
+            << " diverged at event " << i << ":\n  optimized: "
+            << describe(runs[0][i]) << "\n  reference: "
+            << describe(runs[1][i]);
       }
     }
   }

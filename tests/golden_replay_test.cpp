@@ -59,6 +59,18 @@ TEST(GoldenReplay, Fig15ShapedLargeScale) {
   compare_golden(s.file, closed_digest(s));
 }
 
+// One golden per zoo policy (DESIGN.md §14): each pins the full placement
+// behaviour of its selector/hook on the fig12 isolation shape, so a change
+// to any policy — or to the selector seam underneath all of them — shows
+// up as a reviewed digest diff rather than a silent drift.
+TEST(GoldenReplay, PolicyZooScenarios) {
+  for (ZooPolicy policy : all_zoo_policies()) {
+    const GoldenScenario s = zoo_policy_scenario(policy);
+    SCOPED_TRACE(s.name);
+    compare_golden(s.file, closed_digest(s));
+  }
+}
+
 TEST(GoldenReplay, FailureRecoveryShapedScenario) {
   const GoldenScenario s = failure_recovery_scenario();
   std::vector<RunResult> results;

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "ssr/exp/policy_zoo.h"
 #include "ssr/exp/scenario.h"
 #include "ssr/workload/mlbench.h"
 #include "ssr/workload/sqlbench.h"
@@ -155,12 +156,52 @@ inline GoldenScenario failure_recovery_scenario() {
   return s;
 }
 
+// Policy-zoo goldens: the fig12 isolation shape run once per zoo policy
+// (exp/policy_zoo.h), with per-stage demand vectors on so resource-vector
+// arithmetic is under digest everywhere.  The packing pass additionally
+// runs on a heterogeneous cluster — capacity spread is what gives
+// packing_waste a gradient; on a homogeneous cluster every slot ties and
+// the selector collapses to id order.  The undersized {0.5,1,1} slots also
+// pin the per-slot fits_in rejection path.
+inline GoldenScenario zoo_policy_scenario(ZooPolicy policy) {
+  const std::string name = zoo_policy_name(policy);
+  GoldenScenario s{.name = "policy_" + name,
+                   .file = "policy_" + name + ".golden",
+                   .cluster = {.nodes = 50, .slots_per_node = 2}};
+  if (policy == ZooPolicy::kPacking) {
+    s.cluster.node_slots.assign(
+        s.cluster.nodes,
+        {Resources{1.0, 1.0, 1.0}, Resources{1.0, 1.0, 1.0}});
+    for (std::size_t n = 1; n < s.cluster.node_slots.size(); n += 2) {
+      s.cluster.node_slots[n] = {Resources{2.0, 2.0, 2.0},
+                                 Resources{0.5, 1.0, 1.0}};
+    }
+  }
+  TraceGenConfig bg;
+  bg.num_jobs = 12;
+  bg.window = 450.0;
+  bg.seed = 1001;
+  bg.vary_demand = true;
+
+  RunOptions o;
+  o.seed = 1;
+  apply_zoo_policy(policy, s.cluster, o);
+
+  std::vector<JobSpec> jobs = make_background_jobs(bg);
+  jobs.push_back(make_kmeans(20, 10, bg.window * 0.25));
+  s.passes.push_back({"policy_zoo/" + name, o, std::move(jobs)});
+  return s;
+}
+
 inline std::vector<GoldenScenario> golden_scenarios() {
   std::vector<GoldenScenario> all;
   all.push_back(fig12_scenario());
   all.push_back(fig14_scenario());
   all.push_back(fig15_scenario());
   all.push_back(failure_recovery_scenario());
+  for (ZooPolicy policy : all_zoo_policies()) {
+    all.push_back(zoo_policy_scenario(policy));
+  }
   return all;
 }
 

@@ -193,8 +193,9 @@ TEST_P(GoldenEquivalence, OpenReplayMatchesClosedAndGolden) {
       << ": open-mode digest diverged from the committed golden";
 }
 
-INSTANTIATE_TEST_SUITE_P(AllGoldenScenarios, GoldenEquivalence,
-                         ::testing::Range(0, 4));
+INSTANTIATE_TEST_SUITE_P(
+    AllGoldenScenarios, GoldenEquivalence,
+    ::testing::Range(0, static_cast<int>(golden_scenarios().size())));
 
 class RandomEquivalence : public ::testing::TestWithParam<int> {};
 

@@ -15,7 +15,10 @@ Rules (see DESIGN.md §12 for the hazard-class -> runtime-suite mapping):
 
   nondet-iteration    iterating a std::unordered_map/std::unordered_set in a
                       function that (transitively) reaches EngineObserver
-                      dispatch, event scheduling, or digest/trace emission.
+                      dispatch, event scheduling, or digest/trace emission —
+                      or that sits below a StageSelector override
+                      (stage_score/rank_slots), whose return values order
+                      placement decisions directly (sched/types.h contract).
                       Hash iteration order is stdlib- and history-dependent;
                       feeding it into the observer stream breaks replay.
   pointer-keyed-order std::map/std::set (or multi-variants) keyed by a raw
@@ -1217,12 +1220,35 @@ def rule_nondet_iteration(program: Program):
 
     reach = program.build_reachability(is_sink)
 
+    # StageSelector overrides ARE the dispatch path: the engine consults
+    # stage_score / rank_slots while ordering stages and slots, so hash-order
+    # iteration inside an override — or inside any helper it calls — leaks
+    # straight into placement decisions (sched/types.h documents this
+    # contract).  The sink pass above walks callee -> caller; selector
+    # methods need the opposite closure, caller -> callee, because the
+    # hazard sits *below* the entry point rather than above a sink call.
+    selector = program.classes.get("StageSelector")
+    entry_names = ({m.name for m in selector.methods if m.is_virtual and
+                    not m.is_dtor} if selector is not None else set())
+    dispatch_hot: set[int] = set()
+    if entry_names:
+        work = [m for fns in program.methods_by_key.values() for m in fns
+                if m.name in entry_names and m.has_body]
+        dispatch_hot = {id(m) for m in work}
+        while work:
+            m = work.pop()
+            for call in m.calls:
+                for callee in program.methods_by_name.get(call.name, []):
+                    if callee.has_body and id(callee) not in dispatch_hot:
+                        dispatch_hot.add(id(callee))
+                        work.append(callee)
+
     for f in program.files:
         for m in f.functions:
             if not m.has_body:
                 continue
             owner = _owner(program, m)
-            hot = id(m) in reach or emits(m)
+            hot = id(m) in reach or id(m) in dispatch_hot or emits(m)
             if not hot:
                 continue
             sites = [(rf.expr, rf.line) for rf in m.range_fors]
@@ -1235,12 +1261,15 @@ def rule_nondet_iteration(program: Program):
                     ts = expr[0].value
                 canon = program.canon_type(ts) if ts else ""
                 if any(u in canon for u in _UNORDERED):
+                    why = ("sits on the StageSelector dispatch path"
+                           if id(m) in dispatch_hot and id(m) not in reach
+                           else "reaches observer dispatch / event "
+                                "scheduling / digest emission")
                     findings.append(Finding(
                         f.rel, line, "nondet-iteration",
-                        f"iterates `{canon}` in `{m.key()}`, which reaches "
-                        "observer dispatch / event scheduling / digest "
-                        "emission; hash order is not reproducible — use an "
-                        "ordered container or sort a snapshot first"))
+                        f"iterates `{canon}` in `{m.key()}`, which {why}; "
+                        "hash order is not reproducible — use an ordered "
+                        "container or sort a snapshot first"))
     return findings
 
 
